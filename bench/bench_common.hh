@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: common
+ * CLI flags, run helpers, and result bundles. Every figure/table
+ * binary prints the same rows/series the paper reports; absolute
+ * values differ (synthetic workloads, simplified cores) but the
+ * shapes are the object of comparison — see EXPERIMENTS.md.
+ */
+
+#ifndef PVSIM_BENCH_BENCH_COMMON_HH
+#define PVSIM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hh"
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+
+namespace pvsim {
+namespace bench {
+
+/** Flags shared by all benches. */
+struct BenchOptions {
+    uint64_t warmupRefs = 300'000;  ///< per core, functional runs
+    uint64_t measureRefs = 600'000; ///< per core, functional runs
+    uint64_t warmupRecords = 60'000;  ///< per core, timing runs
+    uint64_t measureRecords = 180'000; ///< per core, timing runs
+    unsigned batches = 2; ///< matched-pair batches (timing)
+    std::vector<std::string> workloads;
+    bool csv = false;
+    bool verbose = false;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        Args args(argc, argv);
+        BenchOptions o;
+        o.warmupRefs = args.getUint("warmup", o.warmupRefs);
+        o.measureRefs = args.getUint("refs", o.measureRefs);
+        o.warmupRecords =
+            args.getUint("warmup-records", o.warmupRecords);
+        o.measureRecords =
+            args.getUint("measure-records", o.measureRecords);
+        o.batches = unsigned(args.getUint("batches", o.batches));
+        o.workloads = args.getList("workloads", paperWorkloads());
+        o.csv = args.getBool("csv", false);
+        o.verbose = args.getBool("verbose", false);
+        return o;
+    }
+};
+
+/** Everything a functional run produces. */
+struct FunctionalResult {
+    CoverageMetrics coverage;
+    TrafficMetrics traffic;
+    double pvL2FillRate = 0.0; ///< PVProxy requests served by L2
+};
+
+/** Build, warm up, measure one functional configuration. */
+inline FunctionalResult
+runFunctional(SystemConfig cfg, const BenchOptions &opt)
+{
+    cfg.mode = SimMode::Functional;
+    System sys(cfg);
+    sys.runFunctional(opt.warmupRefs);
+    sys.resetStats();
+    sys.runFunctional(opt.measureRefs);
+
+    FunctionalResult r;
+    r.coverage = coverageOf(sys);
+    r.traffic = trafficOf(sys);
+    uint64_t pv_req = sys.l2().requestsPv.value();
+    uint64_t pv_miss = sys.l2().missesPv.value();
+    r.pvL2FillRate =
+        pv_req ? 1.0 - double(pv_miss) / double(pv_req) : 0.0;
+    return r;
+}
+
+/** The paper's standard prefetcher configurations. */
+inline SystemConfig
+baselineConfig(const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.prefetch = PrefetchMode::None;
+    return cfg;
+}
+
+inline SystemConfig
+smsConfig(const std::string &workload, PhtGeometry geom)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsDedicated;
+    cfg.phtGeometry = geom;
+    return cfg;
+}
+
+inline SystemConfig
+smsInfiniteConfig(const std::string &workload)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsInfinite;
+    return cfg;
+}
+
+inline SystemConfig
+pvConfig(const std::string &workload, unsigned pvcache_entries)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsVirtualized;
+    cfg.phtGeometry = {1024, 11}; // the paper virtualizes 1K-11a
+    cfg.pvCacheEntries = pvcache_entries;
+    return cfg;
+}
+
+/** Print in the requested format. */
+inline void
+emit(const TextTable &t, const BenchOptions &opt)
+{
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace bench
+} // namespace pvsim
+
+#endif // PVSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: off-chip bandwidth increase of PV-8
+ * over SMS-1K-11a as the shared L2 grows from 2 MB to 8 MB total,
+ * split into L2 misses and writebacks. The paper's claim: PV
+ * interference shrinks as the L2 grows.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace pvsim;
+using namespace pvsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    std::cout << "Figure 10: off-chip bandwidth increase (PV-8 vs "
+                 "SMS-1K-11a) for different total L2 sizes\n\n";
+
+    TextTable t;
+    t.setColumns({"workload", "L2 size", "miss increase",
+                  "writeback increase", "total"});
+
+    const uint64_t sizes[] = {2ull << 20, 4ull << 20, 8ull << 20};
+    for (const auto &wl : opt.workloads) {
+        for (uint64_t l2 : sizes) {
+            SystemConfig base_cfg = smsConfig(wl, {1024, 11});
+            base_cfg.l2SizeBytes = l2;
+            SystemConfig pv_cfg = pvConfig(wl, 8);
+            pv_cfg.l2SizeBytes = l2;
+
+            FunctionalResult base = runFunctional(base_cfg, opt);
+            FunctionalResult pv = runFunctional(pv_cfg, opt);
+
+            double base_total =
+                double(base.traffic.l2Misses() +
+                       base.traffic.l2Writebacks());
+            auto part = [&](uint64_t b, uint64_t a) {
+                return base_total ? 100.0 *
+                                        (double(a) - double(b)) /
+                                        base_total
+                                  : 0.0;
+            };
+            double miss_inc = part(base.traffic.l2Misses(),
+                                   pv.traffic.l2Misses());
+            double wb_inc = part(base.traffic.l2Writebacks(),
+                                 pv.traffic.l2Writebacks());
+            t.addRow({wl, fmtBytes(double(l2)), fmtPct(miss_inc),
+                      fmtPct(wb_inc), fmtPct(miss_inc + wb_inc)});
+        }
+    }
+    emit(t, opt);
+
+    std::cout << "Paper shape: the increase shrinks monotonically "
+                 "with L2 capacity and is minimal at 8MB total "
+                 "(2MB per core).\n";
+    return 0;
+}

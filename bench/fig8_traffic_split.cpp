@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the PV-8 off-chip traffic increase
+ * split into application data vs. predictor (PV) data, separately
+ * for L2 misses and L2 writebacks. Demonstrates the paper's two
+ * findings: predictor lines do not meaningfully pollute the L2
+ * (application misses rise <2.5%), and most PV traffic stays
+ * on-chip.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace pvsim;
+using namespace pvsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+
+    std::cout << "Figure 8: PV-8 off-chip traffic increase split "
+                 "into application vs. PV data (vs SMS-1K-11a)\n\n";
+
+    TextTable t;
+    t.setColumns({"workload", "miss app", "miss pv", "wb app",
+                  "wb pv"});
+
+    for (const auto &wl : opt.workloads) {
+        FunctionalResult base =
+            runFunctional(smsConfig(wl, {1024, 11}), opt);
+        FunctionalResult pv = runFunctional(pvConfig(wl, 8), opt);
+
+        double base_misses = double(base.traffic.l2Misses());
+        double base_wbs = double(base.traffic.l2Writebacks());
+
+        auto inc = [](double base_total, uint64_t before,
+                      uint64_t after) {
+            return base_total ? 100.0 *
+                                    (double(after) - double(before)) /
+                                    base_total
+                              : 0.0;
+        };
+        t.addRow(
+            {wl,
+             fmtPct(inc(base_misses, base.traffic.l2MissesApp,
+                        pv.traffic.l2MissesApp)),
+             fmtPct(inc(base_misses, base.traffic.l2MissesPv,
+                        pv.traffic.l2MissesPv)),
+             fmtPct(inc(base_wbs, base.traffic.l2WritebacksApp,
+                        pv.traffic.l2WritebacksApp)),
+             fmtPct(inc(base_wbs, base.traffic.l2WritebacksPv,
+                        pv.traffic.l2WritebacksPv))});
+    }
+    emit(t, opt);
+
+    std::cout << "Paper anchors: application-data miss increase "
+                 "<2.5% everywhere (avg 1%) — predictor entries in "
+                 "the L2 do not pollute; PV's own off-chip share is "
+                 "small because its lines stay hot on-chip.\n";
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core data structures: the
+ * packed-set codec, PVCache access, dedicated PHT lookup, cache
+ * functional access path, event queue throughput, and the synthetic
+ * workload generator. These guard the simulator's own performance
+ * (a slow simulator caps experiment scale).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pv_proxy.hh"
+#include "core/virt_pht.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "prefetch/agt.hh"
+#include "prefetch/pht.hh"
+#include "sim/event_queue.hh"
+#include "trace/synthetic_gen.hh"
+
+using namespace pvsim;
+
+static void
+BM_CodecDecode(benchmark::State &state)
+{
+    PvSetCodec codec(11, 11, 32);
+    PvSet set;
+    set.numWays = 11;
+    for (unsigned w = 0; w < 11; ++w)
+        set.ways[w] = {w, 0x80000000u | w};
+    uint8_t line[kBlockBytes];
+    codec.encode(set, line);
+    for (auto _ : state) {
+        PvSet out = codec.decode(line);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CodecDecode);
+
+static void
+BM_CodecEncode(benchmark::State &state)
+{
+    PvSetCodec codec(11, 11, 32);
+    PvSet set;
+    set.numWays = 11;
+    for (unsigned w = 0; w < 11; ++w)
+        set.ways[w] = {w, 0x80000000u | w};
+    uint8_t line[kBlockBytes];
+    for (auto _ : state) {
+        codec.encode(set, line);
+        benchmark::DoNotOptimize(line[0]);
+    }
+}
+BENCHMARK(BM_CodecEncode);
+
+static void
+BM_SetAssocPhtLookup(benchmark::State &state)
+{
+    SetAssocPht pht({1024, 11});
+    for (PhtKey k = 0; k < 11264; ++k)
+        pht.insert(k % (1u << kPhtKeyBits), k | 1);
+    PhtKey key = 0;
+    for (auto _ : state) {
+        SpatialPattern out = 0;
+        pht.lookup(key, [&](bool, SpatialPattern p) { out = p; });
+        benchmark::DoNotOptimize(out);
+        key = (key + 977) & ((1u << kPhtKeyBits) - 1);
+    }
+}
+BENCHMARK(BM_SetAssocPhtLookup);
+
+static void
+BM_PvProxyHit(benchmark::State &state)
+{
+    SimContext ctx(SimMode::Functional);
+    AddrMap amap(1ull << 30, 1, 64 * 1024);
+    Dram dram(ctx, DramParams{}, &amap);
+    CacheParams l2p;
+    l2p.name = "l2";
+    l2p.sizeBytes = 1 << 20;
+    l2p.assoc = 8;
+    Cache l2(ctx, l2p, &amap);
+    l2.setMemSide(&dram);
+    PvProxyParams pp;
+    PvProxy proxy(ctx, pp, PvTableLayout(amap.pvStart(0), 1024));
+    proxy.setMemSide(&l2);
+    proxy.access(3, [](PvLineView) {});
+    for (auto _ : state) {
+        uint8_t byte = 0;
+        proxy.access(3, [&](PvLineView v) { byte = v.bytes[0]; });
+        benchmark::DoNotOptimize(byte);
+    }
+}
+BENCHMARK(BM_PvProxyHit);
+
+static void
+BM_CacheFunctionalHit(benchmark::State &state)
+{
+    SimContext ctx(SimMode::Functional);
+    AddrMap amap(1ull << 30, 1, 64 * 1024);
+    Dram dram(ctx, DramParams{}, &amap);
+    CacheParams cp;
+    cp.name = "l1";
+    cp.sizeBytes = 64 * 1024;
+    cp.assoc = 4;
+    Cache l1(ctx, cp, &amap);
+    l1.setMemSide(&dram);
+    Packet warm(MemCmd::ReadReq, 0x1000, 0);
+    l1.functionalAccess(warm);
+    for (auto _ : state) {
+        Packet pkt(MemCmd::ReadReq, 0x1000, 0);
+        l1.functionalAccess(pkt);
+        benchmark::DoNotOptimize(pkt.cmd);
+    }
+}
+BENCHMARK(BM_CacheFunctionalHit);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        uint64_t sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(Tick((i * 131) % 997),
+                       [&sum, i] { sum += uint64_t(i); });
+        q.runUntil();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_SyntheticWorkloadNext(benchmark::State &state)
+{
+    SyntheticWorkload gen(workloadPreset("oracle"), 0);
+    TraceRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        benchmark::DoNotOptimize(rec.addr);
+    }
+}
+BENCHMARK(BM_SyntheticWorkloadNext);
+
+static void
+BM_AgtRecordAccess(benchmark::State &state)
+{
+    RegionGeometry geom(32);
+    ActiveGenerationTable agt(AgtParams{}, geom,
+                              [](PhtKey, SpatialPattern) {});
+    Addr addr = 0;
+    for (auto _ : state) {
+        agt.recordAccess(0x1000 + (addr & 0xff), addr);
+        addr += 0x40 * 5; // stride through regions
+        benchmark::DoNotOptimize(addr);
+    }
+}
+BENCHMARK(BM_AgtRecordAccess);
+
+BENCHMARK_MAIN();

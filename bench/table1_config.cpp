@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the base processor configuration. Prints
+ * the simulated machine's parameters straight from a constructed
+ * System so the table can never drift from the implementation.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace pvsim;
+using namespace pvsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+    SystemConfig cfg = baselineConfig("apache");
+    System sys(cfg);
+
+    std::cout << "Table 1: base processor configuration "
+                 "(paper values in parentheses where simplified)\n\n";
+
+    TextTable t;
+    t.setColumns({"component", "simulated configuration"});
+    t.addRow({"cores", std::to_string(cfg.numCores) +
+                           " trace-driven in-order, " +
+                           std::to_string(cfg.coreWidth) +
+                           " instr/cycle (paper: 8-stage OoO "
+                           "UltraSPARC III, 4GHz)"});
+    t.addRow({"store buffer",
+              std::to_string(cfg.storeBufferEntries) +
+                  " entries (paper: 256/64-entry LSQ)"});
+    t.addRow({"L1I/L1D",
+              fmtBytes(double(sys.l1d(0).sizeBytes())) + " " +
+                  std::to_string(sys.l1d(0).assoc()) +
+                  "-way, 64B blocks, LRU, " +
+                  std::to_string(cfg.l1TagLatency +
+                                 cfg.l1DataLatency) +
+                  "-cycle latency"});
+    t.addRow({"L1I prefetch", "next-line instruction prefetcher"});
+    t.addRow({"UL2", fmtBytes(double(sys.l2().sizeBytes())) + " " +
+                         std::to_string(sys.l2().assoc()) +
+                         "-way, " +
+                         std::to_string(cfg.l2Banks) +
+                         " banks, 64B blocks, LRU, " +
+                         std::to_string(cfg.l2TagLatency) + "/" +
+                         std::to_string(cfg.l2DataLatency) +
+                         " cycle tag/data latency"});
+    t.addRow({"main memory",
+              fmtBytes(double(cfg.memBytes)) + ", " +
+                  std::to_string(cfg.memLatency) +
+                  " cycle latency"});
+    t.addRow({"PV reservation",
+              fmtBytes(double(cfg.pvBytesPerCore)) +
+                  " per core at the top of physical memory"});
+    emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Generality demo (paper Section 6 future work): virtualize a
+ * branch target buffer with the same PV framework used for the SMS
+ * PHT. A synthetic branch stream with a large, skewed branch
+ * working set shows the virtualized BTB matching a large dedicated
+ * table's hit rate with ~1 KB of dedicated storage.
+ *
+ * Usage: btb_virtualization [--branches=300000] [--working-set=30000]
+ */
+
+#include <iostream>
+#include <unordered_map>
+
+#include "core/virt_btb.hh"
+#include "harness/table.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "util/args.hh"
+#include "util/random.hh"
+
+using namespace pvsim;
+
+namespace {
+
+/** A simple dedicated BTB for comparison. */
+class DedicatedBtb
+{
+  public:
+    DedicatedBtb(unsigned sets, unsigned ways)
+        : sets_(sets), ways_(ways), table_(size_t(sets) * ways)
+    {}
+
+    bool
+    lookup(Addr pc, Addr &target)
+    {
+        Entry *e = find(pc);
+        if (!e)
+            return false;
+        e->lastTouch = ++touch_;
+        target = e->target;
+        return true;
+    }
+
+    void
+    update(Addr pc, Addr target)
+    {
+        if (Entry *e = find(pc)) {
+            e->target = target;
+            e->lastTouch = ++touch_;
+            return;
+        }
+        size_t base = (pc >> 2) % sets_ * ways_;
+        Entry *victim = &table_[base];
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = table_[base + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastTouch < victim->lastTouch)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->pc = pc;
+        victim->target = target;
+        victim->lastTouch = ++touch_;
+    }
+
+    uint64_t
+    storageBits() const
+    {
+        return uint64_t(sets_) * ways_ * (1 + 62);
+    }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        uint64_t lastTouch = 0;
+    };
+
+    Entry *
+    find(Addr pc)
+    {
+        size_t base = (pc >> 2) % sets_ * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = table_[base + w];
+            if (e.valid && e.pc == pc)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    unsigned sets_, ways_;
+    std::vector<Entry> table_;
+    uint64_t touch_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    uint64_t branches = args.getUint("branches", 300'000);
+    uint64_t working_set = args.getUint("working-set", 30'000);
+
+    // Build the memory substrate the virtualized BTB lives on.
+    SimContext ctx(SimMode::Functional);
+    AddrMap amap(1ull << 30, 1, 256 * 1024);
+    Dram dram(ctx, DramParams{}, &amap);
+    CacheParams l2p;
+    l2p.name = "l2";
+    l2p.sizeBytes = 2ull << 20;
+    l2p.assoc = 16;
+    l2p.directory = true;
+    Cache l2(ctx, l2p, &amap);
+    l2.setMemSide(&dram);
+
+    VirtBtbParams vbp;
+    vbp.numSets = 2048; // 16K entries in memory
+    vbp.assoc = 8;
+    VirtualizedBtb vbtb(ctx, vbp, amap.pvStart(0));
+    vbtb.proxy().setMemSide(&l2);
+
+    DedicatedBtb big(2048, 8); // same geometry, on chip
+    DedicatedBtb small(64, 4); // what the area budget would allow
+
+    // Synthetic branch stream: Zipf-popular branches over a working
+    // set far larger than the small BTB.
+    Rng rng(42);
+    ZipfSampler zipf(working_set, 0.5);
+    auto pc_of = [](uint64_t b) {
+        return Addr(0x40000000) + b * 12;
+    };
+    auto target_of = [](uint64_t b) {
+        return Addr(0x48000000) + (b * 52) % 0x400000;
+    };
+
+    uint64_t hits_v = 0, hits_big = 0, hits_small = 0;
+    uint64_t correct_v = 0, correct_big = 0, correct_small = 0;
+    for (uint64_t i = 0; i < branches; ++i) {
+        uint64_t b = zipf.sample(rng);
+        Addr pc = pc_of(b);
+        Addr actual = target_of(b);
+
+        Addr t = 0;
+        vbtb.lookup(pc, [&](bool f, Addr tgt) {
+            if (f) {
+                ++hits_v;
+                t = tgt;
+            }
+        });
+        if (t == actual && t)
+            ++correct_v;
+
+        Addr tb = 0;
+        if (big.lookup(pc, tb))
+            ++hits_big;
+        if (tb == actual)
+            ++correct_big;
+        Addr ts = 0;
+        if (small.lookup(pc, ts))
+            ++hits_small;
+        if (ts == actual)
+            ++correct_small;
+
+        vbtb.update(pc, actual);
+        big.update(pc, actual);
+        small.update(pc, actual);
+    }
+
+    TextTable t("Virtualized BTB vs dedicated BTBs (" +
+                std::to_string(branches) + " branches, " +
+                std::to_string(working_set) + " distinct)");
+    t.setColumns({"design", "hit rate", "correct target",
+                  "dedicated storage"});
+    auto pct = [&](uint64_t n) {
+        return fmtPct(100.0 * double(n) / double(branches));
+    };
+    t.addRow({"dedicated 16K-entry", pct(hits_big),
+              pct(correct_big), fmtBytes(big.storageBits() / 8.0)});
+    t.addRow({"dedicated 256-entry", pct(hits_small),
+              pct(correct_small),
+              fmtBytes(small.storageBits() / 8.0)});
+    t.addRow({"virtualized 16K-entry (PV)", pct(hits_v),
+              pct(correct_v), fmtBytes(vbtb.storageBits() / 8.0)});
+    t.print(std::cout);
+
+    std::cout << "\nPVProxy stats: "
+              << vbtb.proxy().pvCacheHits.value() << " PVCache hits, "
+              << vbtb.proxy().pvCacheMisses.value() << " misses, "
+              << vbtb.proxy().writebacks.value()
+              << " dirty line writebacks\n";
+    std::cout << "The same VirtualizedAssocTable framework serves "
+                 "the PHT and the BTB — the paper's \"general "
+                 "framework\" claim (Sections 5-6).\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Domain scenario: a database-server consolidation study. An
+ * architect wants SMS-class prefetching for OLTP (TPC-C style)
+ * workloads but cannot afford 60 KB of dedicated SRAM per core.
+ * This example walks the decision the paper motivates:
+ *
+ *   1. baseline (no prefetch)          - the starting point
+ *   2. SMS with a big dedicated PHT    - fast but expensive
+ *   3. SMS with a small dedicated PHT  - cheap but ineffective
+ *   4. SMS with a virtualized PHT (PV) - fast AND cheap
+ *
+ * Runs both functional (coverage/traffic) and timing (speedup)
+ * analyses on the OLTP presets.
+ *
+ * Usage: prefetcher_comparison [--workload=oracle|db2]
+ *        [--refs=600000] [--measure-records=120000]
+ */
+
+#include <iostream>
+
+#include "harness/metrics.hh"
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "util/args.hh"
+
+using namespace pvsim;
+
+namespace {
+
+struct Candidate {
+    std::string name;
+    SystemConfig cfg;
+    uint64_t storageBits = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    std::string workload = args.getString("workload", "oracle");
+    uint64_t warmup = args.getUint("warmup", 300'000);
+    uint64_t refs = args.getUint("refs", 600'000);
+    uint64_t warm_rec = args.getUint("warmup-records", 40'000);
+    uint64_t meas_rec = args.getUint("measure-records", 120'000);
+
+    SystemConfig base;
+    base.workload = workload;
+
+    std::vector<Candidate> candidates;
+    {
+        Candidate c{"baseline", base, 0};
+        candidates.push_back(c);
+    }
+    {
+        Candidate c{"SMS-1K-11a (dedicated)", base, 0};
+        c.cfg.prefetch = PrefetchMode::SmsDedicated;
+        c.cfg.phtGeometry = {1024, 11};
+        candidates.push_back(c);
+    }
+    {
+        Candidate c{"SMS-16-11a (small)", base, 0};
+        c.cfg.prefetch = PrefetchMode::SmsDedicated;
+        c.cfg.phtGeometry = {16, 11};
+        candidates.push_back(c);
+    }
+    {
+        Candidate c{"stride (classic)", base, 0};
+        c.cfg.prefetch = PrefetchMode::Stride;
+        candidates.push_back(c);
+    }
+    {
+        Candidate c{"SMS-PV8 (virtualized)", base, 0};
+        c.cfg.prefetch = PrefetchMode::SmsVirtualized;
+        c.cfg.phtGeometry = {1024, 11};
+        c.cfg.pvCacheEntries = 8;
+        candidates.push_back(c);
+    }
+
+    std::cout << "Prefetcher comparison for the '" << workload
+              << "' OLTP workload (4-core CMP)\n\n";
+
+    // Phase 1: functional coverage + traffic.
+    TextTable t1("Coverage and traffic (functional, " +
+                 std::to_string(refs) + " refs/core)");
+    t1.setColumns({"design", "covered", "overpred",
+                   "off-chip bytes", "on-chip storage/core"});
+    double baseline_ipc = 0.0;
+    for (auto &c : candidates) {
+        SystemConfig cfg = c.cfg;
+        cfg.mode = SimMode::Functional;
+        System sys(cfg);
+        sys.runFunctional(warmup);
+        sys.resetStats();
+        sys.runFunctional(refs);
+        CoverageMetrics cov = coverageOf(sys);
+        TrafficMetrics traffic = trafficOf(sys);
+        uint64_t bits = 0;
+        if (cfg.prefetch == PrefetchMode::SmsDedicated ||
+            cfg.prefetch == PrefetchMode::SmsVirtualized) {
+            bits = sys.pht(0)->storageBits();
+            // SMS itself also needs its (small) AGT.
+            bits += sys.sms(0)->agtStorageBits();
+        } else if (cfg.prefetch == PrefetchMode::Stride) {
+            bits = sys.stride(0)->storageBits();
+        }
+        c.storageBits = bits;
+        t1.addRow({c.name,
+                   cfg.prefetch == PrefetchMode::None
+                       ? "-"
+                       : fmtPct(cov.coveredPct()),
+                   cfg.prefetch == PrefetchMode::None
+                       ? "-"
+                       : fmtPct(cov.overpredictionPct()),
+                   fmtBytes(double(traffic.offChipBytes())),
+                   bits ? fmtBytes(bits / 8.0) : "-"});
+    }
+    t1.print(std::cout);
+    std::cout << "\n";
+
+    // Phase 2: timing speedups.
+    TextTable t2("Speedup over baseline (timing, " +
+                 std::to_string(meas_rec) + " records/core)");
+    t2.setColumns({"design", "aggregate IPC", "speedup"});
+    for (auto &c : candidates) {
+        double ipc = timedIpc(c.cfg, warm_rec, meas_rec);
+        if (c.cfg.prefetch == PrefetchMode::None)
+            baseline_ipc = ipc;
+        t2.addRow({c.name, fmtDouble(ipc, 4),
+                   baseline_ipc > 0 && ipc != baseline_ipc
+                       ? fmtPct(100.0 * (ipc / baseline_ipc - 1.0))
+                       : "-"});
+    }
+    t2.print(std::cout);
+
+    std::cout
+        << "\nThe virtualized design keeps the large-table speedup "
+           "at roughly 1/70th of the dedicated on-chip storage — "
+           "the paper's headline trade-off.\n";
+    return 0;
+}

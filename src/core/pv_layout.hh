@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PVTable layout: how a virtualized predictor table maps into the
+ * reserved physical address range (paper Sections 2.1 and 3.2.1).
+ * One table set is packed into one cache-block-sized line so a
+ * single L2 request delivers a whole set (Figure 3a); the memory
+ * address of a set is PVStart + set * 64 (Figure 3b).
+ */
+
+#ifndef PVSIM_CORE_PV_LAYOUT_HH
+#define PVSIM_CORE_PV_LAYOUT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+/** Address mapping of one in-memory predictor table. */
+class PvTableLayout
+{
+  public:
+    /**
+     * @param pv_start Base physical address (the PVStart register).
+     * @param num_sets Sets in the virtualized table.
+     */
+    PvTableLayout(Addr pv_start, unsigned num_sets)
+        : pvStart_(pv_start), numSets_(num_sets)
+    {
+        pv_assert(num_sets > 0, "PVTable needs at least one set");
+        pv_assert((pv_start % kBlockBytes) == 0,
+                  "PVStart must be block aligned");
+    }
+
+    Addr pvStart() const { return pvStart_; }
+    unsigned numSets() const { return numSets_; }
+
+    /** Total reserved memory footprint (paper: 64 KB per core). */
+    uint64_t tableBytes() const
+    {
+        return uint64_t(numSets_) * kBlockBytes;
+    }
+
+    /**
+     * Memory address of a set: the set index is padded with six
+     * zeros (64-byte lines) and added to PVStart (Figure 3b).
+     */
+    Addr
+    setAddress(unsigned set) const
+    {
+        pv_assert(set < numSets_, "set %u out of range", set);
+        return pvStart_ + (Addr(set) << kBlockShift);
+    }
+
+    /** Inverse of setAddress (for stats/debugging). */
+    unsigned
+    setOf(Addr addr) const
+    {
+        pv_assert(contains(addr), "address outside PVTable");
+        return unsigned((addr - pvStart_) >> kBlockShift);
+    }
+
+    /** True if addr falls inside this table's reservation. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= pvStart_ && addr < pvStart_ + tableBytes();
+    }
+
+    /**
+     * Map a table index (e.g. the 21-bit PHT key) to its set: the
+     * low log2(numSets) bits, as in the paper's 10-bit set index.
+     */
+    unsigned indexToSet(uint64_t index) const
+    {
+        return unsigned(index % numSets_);
+    }
+
+  private:
+    Addr pvStart_;
+    unsigned numSets_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CORE_PV_LAYOUT_HH

@@ -1,0 +1,288 @@
+#include "core/pv_proxy.hh"
+
+#include <algorithm>
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
+                 const PvTableLayout &layout)
+    : SimObject(ctx, nullptr, params.name),
+      operations(this, "operations",
+                 "store/retrieve operations from the engine"),
+      pvCacheHits(this, "pvcache_hits", "operations hitting the PVCache"),
+      pvCacheMisses(this, "pvcache_misses",
+                    "operations missing the PVCache"),
+      memRequests(this, "mem_requests", "set fetches sent to the L2"),
+      coalescedOps(this, "coalesced_ops",
+                   "operations joining an in-flight fetch"),
+      droppedOps(this, "dropped_ops",
+                 "operations dropped and reported as predictor miss"),
+      fills(this, "fills", "sets installed in the PVCache"),
+      writebacks(this, "writebacks", "dirty lines written to the L2"),
+      cleanEvicts(this, "clean_evicts",
+                  "clean lines discarded on eviction"),
+      evictOverflows(this, "evict_overflows",
+                     "evictions exceeding the evict buffer"),
+      params_(params), layout_(layout)
+{
+    pv_assert(params_.pvCacheEntries > 0, "PVCache needs entries");
+    entries_.resize(params_.pvCacheEntries);
+}
+
+PvProxy::CacheEntry *
+PvProxy::findEntry(unsigned set)
+{
+    for (auto &e : entries_) {
+        if (e.valid && e.set == set)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+PvProxy::evictEntry(CacheEntry &e)
+{
+    if (!e.valid)
+        return;
+    if (e.dirty) {
+        // Dirty predictor lines are sent to the memory hierarchy
+        // like any other data (paper Section 2.2).
+        if (sendQueue_.size() >= params_.evictBufferEntries)
+            ++evictOverflows;
+        auto *wb = new Packet(MemCmd::Writeback,
+                              layout_.setAddress(e.set),
+                              kInvalidCore);
+        wb->isPv = true;
+        wb->coherent = false;
+        wb->setData(e.bytes.data());
+        ++writebacks;
+        sendDown(wb);
+    } else {
+        ++cleanEvicts;
+    }
+    e.valid = false;
+    e.dirty = false;
+}
+
+PvProxy::CacheEntry &
+PvProxy::allocateEntry(unsigned set)
+{
+    CacheEntry *victim = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &entries_[0];
+        for (auto &e : entries_) {
+            if (e.lastTouch < victim->lastTouch)
+                victim = &e;
+        }
+        evictEntry(*victim);
+    }
+    victim->valid = true;
+    victim->set = set;
+    victim->dirty = false;
+    victim->lastTouch = ++touchCounter_;
+    victim->bytes.fill(0);
+    victim->ages.fill(0xff); // everything "old" until touched
+    return *victim;
+}
+
+void
+PvProxy::applyOp(CacheEntry &e, const SetOp &op)
+{
+    e.lastTouch = ++touchCounter_;
+    PvLineView view{e.bytes.data(), &e.dirty, &e.ages};
+    op(view);
+}
+
+void
+PvProxy::dropOp(const SetOp &op)
+{
+    ++droppedOps;
+    PvLineView view{nullptr, nullptr, nullptr};
+    op(view);
+}
+
+unsigned
+PvProxy::pendingOpCount() const
+{
+    unsigned n = 0;
+    for (const auto &f : inFlight_)
+        n += unsigned(f.pendingOps.size());
+    return n;
+}
+
+void
+PvProxy::access(unsigned set, SetOp op)
+{
+    ++operations;
+    pv_assert(set < layout_.numSets(), "set %u out of range", set);
+
+    if (CacheEntry *e = findEntry(set)) {
+        ++pvCacheHits;
+        applyOp(*e, op);
+        return;
+    }
+    ++pvCacheMisses;
+
+    if (!isTiming()) {
+        // Functional mode: fetch synchronously through the
+        // hierarchy, install, and run the operation.
+        pv_assert(memSide_ != nullptr, "PVProxy has no memory side");
+        ++memRequests;
+        Packet pkt(MemCmd::ReadReq, layout_.setAddress(set),
+                   kInvalidCore);
+        pkt.isPv = true;
+        pkt.coherent = false;
+        memSide_->functionalAccess(pkt);
+        CacheEntry &e = allocateEntry(set);
+        if (pkt.hasData())
+            e.bytes = *pkt.data;
+        ++fills;
+        applyOp(e, op);
+        return;
+    }
+
+    fetchSet(set, std::move(op));
+}
+
+void
+PvProxy::fetchSet(unsigned set, SetOp op)
+{
+    // Join an in-flight fetch for the same set when possible.
+    for (auto &f : inFlight_) {
+        if (f.set == set) {
+            if (pendingOpCount() >= params_.patternBufferEntries) {
+                dropOp(op);
+                return;
+            }
+            ++coalescedOps;
+            f.pendingOps.push_back(std::move(op));
+            return;
+        }
+    }
+
+    if (inFlight_.size() >= params_.mshrs ||
+        pendingOpCount() >= params_.patternBufferEntries) {
+        // No MSHR / pattern-buffer space: report a predictor miss
+        // rather than stalling the engine (paper Section 2.2).
+        dropOp(op);
+        return;
+    }
+
+    inFlight_.push_back(InFlight{set, {}});
+    inFlight_.back().pendingOps.push_back(std::move(op));
+
+    ++memRequests;
+    auto *pkt = new Packet(MemCmd::ReadReq, layout_.setAddress(set),
+                           kInvalidCore);
+    pkt->isPv = true;
+    pkt->coherent = false;
+    pkt->src = this;
+    pkt->issueTick = curTick();
+    sendDown(pkt);
+}
+
+void
+PvProxy::sendDown(PacketPtr pkt)
+{
+    pv_assert(memSide_ != nullptr, "PVProxy has no memory side");
+    if (!isTiming()) {
+        memSide_->functionalAccess(*pkt);
+        delete pkt;
+        return;
+    }
+    sendQueue_.push_back(pkt);
+    drainSendQueue();
+}
+
+void
+PvProxy::drainSendQueue()
+{
+    if (drainScheduled_)
+        return;
+    while (!sendQueue_.empty()) {
+        PacketPtr head = sendQueue_.front();
+        if (!memSide_->recvRequest(head))
+            break;
+        sendQueue_.pop_front();
+    }
+    if (!sendQueue_.empty()) {
+        drainScheduled_ = true;
+        schedule(1, [this] {
+            drainScheduled_ = false;
+            drainSendQueue();
+        });
+    }
+}
+
+void
+PvProxy::recvResponse(PacketPtr pkt)
+{
+    unsigned set = layout_.setOf(blockAlign(pkt->addr));
+
+    auto it = std::find_if(inFlight_.begin(), inFlight_.end(),
+                           [set](const InFlight &f) {
+                               return f.set == set;
+                           });
+    pv_assert(it != inFlight_.end(),
+              "PVProxy response for set %u with no MSHR", set);
+
+    std::vector<SetOp> ops;
+    ops.swap(it->pendingOps);
+    inFlight_.erase(it);
+
+    CacheEntry &e = allocateEntry(set);
+    if (pkt->hasData())
+        e.bytes = *pkt->data;
+    ++fills;
+    delete pkt;
+
+    for (const SetOp &op : ops)
+        applyOp(e, op);
+}
+
+void
+PvProxy::flush()
+{
+    for (auto &e : entries_)
+        evictEntry(e);
+}
+
+PvProxy::StorageBreakdown
+PvProxy::storageBreakdown() const
+{
+    StorageBreakdown b;
+    // PVCache data: only the live bits of each packed line count as
+    // dedicated storage (473 bits per line for the 11-way PHT).
+    b.pvCacheData =
+        uint64_t(params_.pvCacheEntries) * params_.usedBitsPerLine;
+    // One tag per PVCache entry identifies the PVTable set it holds:
+    // log2(numSets) bits plus a valid bit.
+    unsigned tag_bits = unsigned(ceilLog2(layout_.numSets())) + 1;
+    b.tags = uint64_t(params_.pvCacheEntries) * tag_bits;
+    b.dirtyBits = params_.pvCacheEntries;
+    // Each MSHR: valid + set index + the full line address it is
+    // fetching + per-op bookkeeping links into the pattern buffer.
+    unsigned mshr_bits = 1 + unsigned(ceilLog2(layout_.numSets())) +
+                         42 +
+                         4 * (1 + unsigned(ceilLog2(std::max(
+                                      2u,
+                                      params_.patternBufferEntries))));
+    b.mshrs = uint64_t(params_.mshrs) * mshr_bits;
+    // Evict buffer holds full lines.
+    b.evictBuffer =
+        uint64_t(params_.evictBufferEntries) * kBlockBytes * 8;
+    // Pattern buffer stages one 32-bit pattern per pending op.
+    b.patternBuffer = uint64_t(params_.patternBufferEntries) * 32;
+    return b;
+}
+
+} // namespace pvsim

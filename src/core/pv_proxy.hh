@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The PVProxy (paper Section 2.2): the on-chip mediator between an
+ * optimization engine and its in-memory PVTable. Holds a small
+ * fully-associative PVCache of table sets (one 64-byte line each),
+ * an MSHR file for in-flight set fetches, a pattern buffer staging
+ * pending operations while their set is fetched, and an evict buffer
+ * for dirty lines on their way to the L2.
+ *
+ * All PVProxy memory traffic is made of ordinary requests injected
+ * at the L2 ("on the backside of the L1"); the hierarchy is
+ * oblivious to what it is caching.
+ */
+
+#ifndef PVSIM_CORE_PV_PROXY_HH
+#define PVSIM_CORE_PV_PROXY_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pv_layout.hh"
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+
+namespace pvsim {
+
+/** PVProxy configuration (paper Section 4.6 final design). */
+struct PvProxyParams {
+    std::string name = "pvproxy";
+    /** PVCache entries; the paper settles on eight (Section 4.3). */
+    unsigned pvCacheEntries = 8;
+    /** Outstanding set fetches. */
+    unsigned mshrs = 4;
+    /** Dirty lines buffered toward the L2. */
+    unsigned evictBufferEntries = 4;
+    /** Pending operations staged while sets are in flight. */
+    unsigned patternBufferEntries = 16;
+    /** Bits of each packed line that hold live data (storage acct). */
+    unsigned usedBitsPerLine = 473;
+};
+
+/**
+ * Mutable view of one cached PVTable line handed to operations.
+ * `dirty` must be set by operations that modify the bytes; `ages`
+ * is sideband per-way recency metadata that lives only while the
+ * line is in the PVCache (the packed line's trailing bits stay
+ * unused, as in the paper's Figure 3a).
+ */
+struct PvLineView {
+    uint8_t *bytes;
+    bool *dirty;
+    std::array<uint8_t, 16> *ages;
+};
+
+/** The proxy. */
+class PvProxy : public SimObject, public MemClient
+{
+  public:
+    /**
+     * An operation against one table set. Runs exactly once, either
+     * immediately (PVCache hit / functional mode) or when the set
+     * arrives from the memory hierarchy. If the proxy must drop the
+     * operation (buffers full), it runs with view.bytes == nullptr —
+     * the engine then sees a predictor miss (paper Section 2.2).
+     */
+    using SetOp = std::function<void(PvLineView view)>;
+
+    PvProxy(SimContext &ctx, const PvProxyParams &params,
+            const PvTableLayout &layout);
+
+    /** Connect the level the proxy injects requests into (the L2). */
+    void setMemSide(MemDevice *dev) { memSide_ = dev; }
+
+    /**
+     * Perform op on the line of table set `set`, fetching it from
+     * the memory hierarchy on a PVCache miss.
+     */
+    void access(unsigned set, SetOp op);
+
+    /** Write back all dirty lines and drop clean ones. */
+    void flush();
+
+    /** True when nothing is in flight (timing mode draining). */
+    bool quiesced() const
+    {
+        return inFlight_.empty() && sendQueue_.empty();
+    }
+
+    const PvTableLayout &layout() const { return layout_; }
+    const PvProxyParams &params() const { return params_; }
+
+    // MemClient
+    void recvResponse(PacketPtr pkt) override;
+    std::string clientName() const override { return name(); }
+
+    /**
+     * Dedicated on-chip storage, itemized as in paper Section 4.6.
+     * All values in bits.
+     */
+    struct StorageBreakdown {
+        uint64_t pvCacheData = 0;
+        uint64_t tags = 0;
+        uint64_t dirtyBits = 0;
+        uint64_t mshrs = 0;
+        uint64_t evictBuffer = 0;
+        uint64_t patternBuffer = 0;
+
+        uint64_t
+        totalBits() const
+        {
+            return pvCacheData + tags + dirtyBits + mshrs +
+                   evictBuffer + patternBuffer;
+        }
+
+        double totalBytes() const { return totalBits() / 8.0; }
+    };
+
+    StorageBreakdown storageBreakdown() const;
+
+    // Statistics
+    stats::Scalar operations;
+    stats::Scalar pvCacheHits;
+    stats::Scalar pvCacheMisses;
+    stats::Scalar memRequests;   ///< set fetches sent to the L2
+    stats::Scalar coalescedOps;  ///< ops joining an in-flight fetch
+    stats::Scalar droppedOps;    ///< ops dropped (reported as miss)
+    stats::Scalar fills;
+    stats::Scalar writebacks;    ///< dirty lines sent to the L2
+    stats::Scalar cleanEvicts;   ///< clean lines silently dropped
+    stats::Scalar evictOverflows;
+
+  private:
+    struct CacheEntry {
+        bool valid = false;
+        unsigned set = 0;
+        bool dirty = false;
+        uint64_t lastTouch = 0;
+        std::array<uint8_t, kBlockBytes> bytes{};
+        std::array<uint8_t, 16> ages{};
+    };
+
+    struct InFlight {
+        unsigned set = 0;
+        std::vector<SetOp> pendingOps;
+    };
+
+    CacheEntry *findEntry(unsigned set);
+    CacheEntry &allocateEntry(unsigned set);
+    void applyOp(CacheEntry &e, const SetOp &op);
+    void dropOp(const SetOp &op);
+    void evictEntry(CacheEntry &e);
+    void sendDown(PacketPtr pkt);
+    void drainSendQueue();
+    void fetchSet(unsigned set, SetOp op);
+    unsigned pendingOpCount() const;
+
+    PvProxyParams params_;
+    PvTableLayout layout_;
+    MemDevice *memSide_ = nullptr;
+
+    std::vector<CacheEntry> entries_;
+    std::vector<InFlight> inFlight_;
+    std::deque<PacketPtr> sendQueue_;
+    bool drainScheduled_ = false;
+    uint64_t touchCounter_ = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CORE_PV_PROXY_HH

@@ -1,0 +1,44 @@
+#include "core/virt_btb.hh"
+
+namespace pvsim {
+
+namespace {
+
+PvProxyParams
+proxyParamsFor(const VirtBtbParams &p)
+{
+    PvProxyParams pp = p.proxy;
+    pp.usedBitsPerLine = p.assoc * (p.tagBits + 46);
+    return pp;
+}
+
+} // anonymous namespace
+
+VirtualizedBtb::VirtualizedBtb(SimContext &ctx,
+                               const VirtBtbParams &params,
+                               Addr pv_start)
+    : params_(params), codec_(params.assoc, params.tagBits, 46),
+      proxy_(std::make_unique<PvProxy>(
+          ctx, proxyParamsFor(params),
+          PvTableLayout(pv_start, params.numSets))),
+      table_(proxy_.get(), codec_)
+{
+}
+
+void
+VirtualizedBtb::lookup(Addr pc, LookupCallback cb)
+{
+    table_.find(keyOf(pc), [cb = std::move(cb)](bool found,
+                                                uint64_t payload) {
+        cb(found, Addr(payload) << 2);
+    });
+}
+
+void
+VirtualizedBtb::update(Addr pc, Addr target)
+{
+    pv_assert(target != 0, "zero target is the empty marker");
+    table_.store(keyOf(pc), target >> 2);
+}
+
+} // namespace pvsim

@@ -1,0 +1,66 @@
+#include "core/virt_pht.hh"
+
+#include "util/intmath.hh"
+
+namespace pvsim {
+
+namespace {
+
+/** Tag bits left of the 21-bit key after the set index. */
+unsigned
+phtTagBits(unsigned num_sets)
+{
+    unsigned index_bits = unsigned(ceilLog2(num_sets));
+    return index_bits >= kPhtKeyBits ? 1 : kPhtKeyBits - index_bits;
+}
+
+PvProxyParams
+proxyParamsFor(const VirtPhtParams &p)
+{
+    PvProxyParams pp = p.proxy;
+    // The storage accounting counts only live bits per line.
+    pp.usedBitsPerLine =
+        p.assoc * (phtTagBits(p.numSets) + 32);
+    return pp;
+}
+
+} // anonymous namespace
+
+VirtualizedPht::VirtualizedPht(SimContext &ctx,
+                               const VirtPhtParams &params,
+                               Addr pv_start)
+    : params_(params),
+      codec_(params.assoc, phtTagBits(params.numSets), 32),
+      proxy_(std::make_unique<PvProxy>(
+          ctx, proxyParamsFor(params),
+          PvTableLayout(pv_start, params.numSets))),
+      table_(proxy_.get(), codec_)
+{
+}
+
+void
+VirtualizedPht::lookup(PhtKey key, LookupCallback cb)
+{
+    table_.find(key, [cb = std::move(cb)](bool found,
+                                          uint64_t payload) {
+        cb(found, SpatialPattern(payload));
+    });
+}
+
+void
+VirtualizedPht::insert(PhtKey key, SpatialPattern pattern)
+{
+    if (pattern == 0)
+        return; // nothing to learn; zero marks empty entries
+    table_.store(key, pattern);
+}
+
+std::string
+VirtualizedPht::phtName() const
+{
+    PhtGeometry g{params_.numSets, params_.assoc};
+    return "PV" + std::to_string(params_.proxy.pvCacheEntries) +
+           "(" + g.label() + ")";
+}
+
+} // namespace pvsim

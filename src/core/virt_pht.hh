@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The virtualized SMS Pattern History Table (paper Section 3.2):
+ * the PHT stored in main memory behind a PVProxy, packed 11 entries
+ * (11-bit tag + 32-bit pattern = 43 bits each) per 64-byte line.
+ * Plugs into SmsPrefetcher wherever a dedicated SetAssocPht would —
+ * the optimization engine is unchanged.
+ */
+
+#ifndef PVSIM_CORE_VIRT_PHT_HH
+#define PVSIM_CORE_VIRT_PHT_HH
+
+#include <memory>
+
+#include "core/virt_table.hh"
+#include "prefetch/pht.hh"
+
+namespace pvsim {
+
+/** Virtualized PHT configuration. */
+struct VirtPhtParams {
+    /** Table geometry; the paper virtualizes 1K sets x 11 ways. */
+    unsigned numSets = 1024;
+    unsigned assoc = 11;
+    /** PVProxy sizing (paper Section 4.6). */
+    PvProxyParams proxy;
+};
+
+/** PatternHistoryTable backed by the memory hierarchy. */
+class VirtualizedPht : public PatternHistoryTable
+{
+  public:
+    /**
+     * @param ctx      Simulation context (for the internal proxy).
+     * @param params   Geometry and proxy sizing.
+     * @param pv_start This core's PVStart register value.
+     *
+     * Call proxy().setMemSide(l2) before use.
+     */
+    VirtualizedPht(SimContext &ctx, const VirtPhtParams &params,
+                   Addr pv_start);
+
+    // PatternHistoryTable
+    void lookup(PhtKey key, LookupCallback cb) override;
+    void insert(PhtKey key, SpatialPattern pattern) override;
+
+    /**
+     * Dedicated on-chip storage: just the PVProxy (the PVTable
+     * itself lives in memory). This is the paper's 889 bytes.
+     */
+    uint64_t storageBits() const override
+    {
+        return proxy_->storageBreakdown().totalBits();
+    }
+
+    std::string phtName() const override;
+
+    PvProxy &proxy() { return *proxy_; }
+    const VirtPhtParams &params() const { return params_; }
+    VirtualizedAssocTable &table() { return table_; }
+
+    /** Entry width in bits (43 for the paper's geometry). */
+    unsigned entryBits() const { return codec_.entryBits(); }
+
+  private:
+    VirtPhtParams params_;
+    PvSetCodec codec_;
+    std::unique_ptr<PvProxy> proxy_;
+    VirtualizedAssocTable table_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CORE_VIRT_PHT_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Generic virtualized set-associative table: the reusable heart of
+ * Predictor Virtualization. Maps keys to packed in-memory sets
+ * through a PvProxy, with tag matching, in-set replacement driven by
+ * sideband recency (the packed line's trailing bits stay unused, as
+ * the paper leaves them), and write-allocate dirty tracking.
+ *
+ * VirtualizedPht (the paper's case study) and VirtualizedBtb (the
+ * paper's future-work suggestion) are thin adapters over this class,
+ * demonstrating that PV is "a general framework for emulating
+ * otherwise impractical to implement predictors" (Section 5).
+ */
+
+#ifndef PVSIM_CORE_VIRT_TABLE_HH
+#define PVSIM_CORE_VIRT_TABLE_HH
+
+#include <functional>
+
+#include "core/pv_codec.hh"
+#include "core/pv_proxy.hh"
+#include "util/bitfield.hh"
+
+namespace pvsim {
+
+/** Key-addressed associative table living in the memory hierarchy. */
+class VirtualizedAssocTable
+{
+  public:
+    /** Result delivery for find(); fires exactly once. */
+    using FindCallback =
+        std::function<void(bool found, uint64_t payload)>;
+
+    /**
+     * @param proxy The PVProxy fronting this table's PVTable. Not
+     *              owned; one proxy serves one table.
+     * @param codec Packing geometry (ways, tagBits, payloadBits).
+     *
+     * The table has proxy->layout().numSets() sets; a key maps to
+     * set (key % numSets) with tag (key / numSets).
+     */
+    VirtualizedAssocTable(PvProxy *proxy, const PvSetCodec &codec)
+        : proxy_(proxy), codec_(codec)
+    {
+        pv_assert(proxy_ != nullptr, "table needs a proxy");
+    }
+
+    unsigned numSets() const { return proxy_->layout().numSets(); }
+    unsigned ways() const { return codec_.ways(); }
+    const PvSetCodec &codec() const { return codec_; }
+    PvProxy &proxy() { return *proxy_; }
+
+    /**
+     * Retrieve the payload for key. A dropped operation (proxy
+     * buffers full) reports "not found", as the paper allows.
+     */
+    void
+    find(uint64_t key, FindCallback cb)
+    {
+        unsigned set = setOf(key);
+        uint32_t tag = tagOf(key);
+        proxy_->access(set, [this, tag,
+                             cb = std::move(cb)](PvLineView view) {
+            if (!view.bytes) {
+                cb(false, 0);
+                return;
+            }
+            PvSet s = codec_.decode(view.bytes);
+            int way = s.findTag(tag);
+            if (way < 0) {
+                cb(false, 0);
+                return;
+            }
+            touch(*view.ages, unsigned(way));
+            cb(true, s.ways[way].payload);
+        });
+    }
+
+    /**
+     * Store payload for key (insert or update). @pre payload != 0
+     * (zero is the invalid-entry marker). Dropped silently when the
+     * proxy's buffers are full — predictor updates are advisory.
+     */
+    void
+    store(uint64_t key, uint64_t payload)
+    {
+        pv_assert(payload != 0, "zero payload is the empty marker");
+        unsigned set = setOf(key);
+        uint32_t tag = tagOf(key);
+        proxy_->access(set, [this, tag, payload](PvLineView view) {
+            if (!view.bytes)
+                return; // dropped: the update is lost, harmlessly
+            PvSet s = codec_.decode(view.bytes);
+            int way = s.findTag(tag);
+            if (way < 0)
+                way = s.findFree();
+            if (way < 0)
+                way = victimWay(*view.ages);
+            s.ways[way].tag = tag;
+            s.ways[way].payload = payload;
+            codec_.encode(s, view.bytes);
+            touch(*view.ages, unsigned(way));
+            *view.dirty = true;
+        });
+    }
+
+    unsigned setOf(uint64_t key) const
+    {
+        return unsigned(key % numSets());
+    }
+
+    uint32_t
+    tagOf(uint64_t key) const
+    {
+        return uint32_t((key / numSets()) &
+                        mask(int(codec_.tagBits())));
+    }
+
+  private:
+    /** Recency update: way becomes youngest, everyone else ages. */
+    void
+    touch(std::array<uint8_t, 16> &ages, unsigned way) const
+    {
+        for (unsigned w = 0; w < codec_.ways(); ++w) {
+            if (ages[w] < 0xff)
+                ++ages[w];
+        }
+        ages[way] = 0;
+    }
+
+    /** Oldest way (ties resolved toward way 0). */
+    unsigned
+    victimWay(const std::array<uint8_t, 16> &ages) const
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < codec_.ways(); ++w) {
+            if (ages[w] > ages[best])
+                best = w;
+        }
+        return best;
+    }
+
+    PvProxy *proxy_;
+    PvSetCodec codec_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CORE_VIRT_TABLE_HH

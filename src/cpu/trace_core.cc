@@ -1,0 +1,238 @@
+#include "cpu/trace_core.hh"
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
+                     TraceSource *source, Cache *l1d, Cache *l1i)
+    : SimObject(ctx, nullptr, params.name),
+      records(this, "records", "trace records consumed"),
+      instsRetired(this, "insts_retired", "instructions retired"),
+      loadStallCycles(this, "load_stall_cycles",
+                      "cycles stalled on load misses"),
+      fetchStallCycles(this, "fetch_stall_cycles",
+                       "cycles stalled on instruction fetch"),
+      storeStallCycles(this, "store_stall_cycles",
+                       "cycles stalled on a full store buffer"),
+      loads(this, "loads", "load instructions"),
+      stores(this, "stores", "store instructions"),
+      params_(params), source_(source), l1d_(l1d), l1i_(l1i)
+{
+    pv_assert(source_ && l1d_ && l1i_, "core needs source and caches");
+}
+
+// -----------------------------------------------------------------------
+// Functional mode
+// -----------------------------------------------------------------------
+
+bool
+TraceCore::stepFunctional()
+{
+    if (!source_->next(rec_))
+        return false;
+    ++records;
+    instsRetired += uint64_t(rec_.gap) + 1;
+
+    // Instruction fetch: blocks covering [pc, pc + (gap+1)*instBytes).
+    Addr start = rec_.pc;
+    uint64_t bytes = (uint64_t(rec_.gap) + 1) * params_.instBytes;
+    for (Addr b = blockAlign(start); b < start + bytes;
+         b += kBlockBytes) {
+        if (b == lastFetchBlock_)
+            continue;
+        lastFetchBlock_ = b;
+        Packet fp(MemCmd::ReadReq, b, params_.id);
+        fp.pc = rec_.pc;
+        fp.isInstFetch = true;
+        l1i_->functionalAccess(fp);
+    }
+
+    // Data access.
+    Packet mp(rec_.isLoad() ? MemCmd::ReadReq : MemCmd::WriteReq,
+              rec_.addr, params_.id);
+    mp.pc = rec_.pc;
+    l1d_->functionalAccess(mp);
+    if (rec_.isLoad())
+        ++loads;
+    else
+        ++stores;
+    return true;
+}
+
+// -----------------------------------------------------------------------
+// Timing mode
+// -----------------------------------------------------------------------
+
+void
+TraceCore::start(uint64_t max_records)
+{
+    pv_assert(isTiming(), "start() is for timing mode");
+    maxRecords_ = max_records;
+    done_ = false;
+    phase_ = Phase::NeedRecord;
+    schedule(0, [this] { advance(); }, EventQueue::kPrioCpu);
+}
+
+bool
+TraceCore::refill()
+{
+    if (maxRecords_ && records.value() >= maxRecords_)
+        return false;
+    if (!source_->next(rec_))
+        return false;
+    ++records;
+
+    fetchQueue_.clear();
+    Addr start = rec_.pc;
+    uint64_t bytes = (uint64_t(rec_.gap) + 1) * params_.instBytes;
+    for (Addr b = blockAlign(start); b < start + bytes;
+         b += kBlockBytes) {
+        if (b != lastFetchBlock_)
+            fetchQueue_.push_back(b);
+    }
+    if (!fetchQueue_.empty())
+        lastFetchBlock_ = fetchQueue_.back();
+    return true;
+}
+
+bool
+TraceCore::doFetch()
+{
+    while (!fetchQueue_.empty()) {
+        Addr b = fetchQueue_.front();
+        auto *pkt = new Packet(MemCmd::ReadReq, b, params_.id);
+        pkt->pc = rec_.pc;
+        pkt->isInstFetch = true;
+        pkt->src = this;
+        if (l1i_->probeAccess(pkt)) {
+            // Pipelined hit: free.
+            fetchQueue_.pop_front();
+            delete pkt;
+            continue;
+        }
+        // Miss: stall until the fill returns.
+        fetchQueue_.pop_front();
+        waitingFetch_ = true;
+        stallStart_ = curTick();
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceCore::doMem()
+{
+    if (rec_.isLoad()) {
+        auto *pkt = new Packet(MemCmd::ReadReq, rec_.addr,
+                               params_.id);
+        pkt->pc = rec_.pc;
+        pkt->src = this;
+        ++loads;
+        if (l1d_->probeAccess(pkt)) {
+            delete pkt;
+            return true;
+        }
+        waitingLoad_ = true;
+        stallStart_ = curTick();
+        return false;
+    }
+
+    // Store: non-blocking through the store buffer.
+    if (storesInFlight_ >= params_.storeBufferEntries) {
+        stalledOnStoreBuffer_ = true;
+        stallStart_ = curTick();
+        return false;
+    }
+    auto *pkt = new Packet(MemCmd::WriteReq, rec_.addr, params_.id);
+    pkt->pc = rec_.pc;
+    pkt->src = this;
+    ++stores;
+    if (l1d_->probeAccess(pkt)) {
+        delete pkt; // store hit completes immediately
+    } else {
+        ++storesInFlight_;
+    }
+    return true;
+}
+
+void
+TraceCore::advance()
+{
+    for (;;) {
+        switch (phase_) {
+          case Phase::NeedRecord:
+            if (!refill()) {
+                phase_ = Phase::Done;
+                done_ = true;
+                return;
+            }
+            phase_ = Phase::Fetch;
+            break;
+
+          case Phase::Fetch:
+            if (!doFetch())
+                return; // stalled on ifetch
+            phase_ = Phase::Gap;
+            break;
+
+          case Phase::Gap: {
+            uint64_t insts = uint64_t(rec_.gap) + 1;
+            instsRetired += insts;
+            Cycles cycles =
+                Cycles(divideCeil(insts, params_.width));
+            phase_ = Phase::Mem;
+            if (cycles > 0) {
+                schedule(cycles, [this] { advance(); },
+                         EventQueue::kPrioCpu);
+                return;
+            }
+            break;
+          }
+
+          case Phase::Mem:
+            if (!doMem())
+                return; // stalled on load or store buffer
+            phase_ = Phase::NeedRecord;
+            break;
+
+          case Phase::Done:
+            return;
+        }
+    }
+}
+
+void
+TraceCore::recvResponse(PacketPtr pkt)
+{
+    if (pkt->cmd == MemCmd::WriteResp) {
+        // A buffered store completed.
+        pv_assert(storesInFlight_ > 0, "stray store response");
+        --storesInFlight_;
+        delete pkt;
+        if (stalledOnStoreBuffer_) {
+            stalledOnStoreBuffer_ = false;
+            storeStallCycles += curTick() - stallStart_;
+            advance(); // retry the stalled store
+        }
+        return;
+    }
+
+    if (pkt->isInstFetch) {
+        pv_assert(waitingFetch_, "stray ifetch response");
+        waitingFetch_ = false;
+        fetchStallCycles += curTick() - stallStart_;
+        delete pkt;
+        advance();
+        return;
+    }
+
+    pv_assert(waitingLoad_, "stray load response");
+    waitingLoad_ = false;
+    loadStallCycles += curTick() - stallStart_;
+    delete pkt;
+    advance();
+}
+
+} // namespace pvsim

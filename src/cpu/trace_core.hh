@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace-driven in-order core. Consumes TraceRecords, synthesizes the
+ * instruction-fetch stream from (pc, gap), retires `width`
+ * instructions per cycle, stalls on L1D load misses (stall-on-use),
+ * and issues stores through a non-blocking store buffer. L1 hits are
+ * pipelined (no stall); all timing cost comes from misses, matching
+ * how prefetching recovers performance in the paper.
+ */
+
+#ifndef PVSIM_CPU_TRACE_CORE_HH
+#define PVSIM_CPU_TRACE_CORE_HH
+
+#include <deque>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+#include "trace/trace_record.hh"
+
+namespace pvsim {
+
+/** Core configuration (paper Table 1, simplified to in-order). */
+struct CoreParams {
+    std::string name = "core";
+    int id = 0;
+    /** Instructions retired per cycle when not stalled. */
+    unsigned width = 4;
+    /** Store buffer entries (stores in flight without stalling). */
+    unsigned storeBufferEntries = 8;
+    /** Bytes per instruction for the synthetic fetch stream. */
+    unsigned instBytes = 4;
+};
+
+/** The core. */
+class TraceCore : public SimObject, public MemClient
+{
+  public:
+    TraceCore(SimContext &ctx, const CoreParams &params,
+              TraceSource *source, Cache *l1d, Cache *l1i);
+
+    // ---- Functional mode -------------------------------------------
+
+    /**
+     * Consume one trace record with zero-latency memory accesses
+     * (instruction fetch included). Returns false at end-of-trace.
+     */
+    bool stepFunctional();
+
+    // ---- Timing mode --------------------------------------------------
+
+    /**
+     * Begin execution: schedules the first advance. The core runs
+     * until the trace ends or the record budget is exhausted.
+     */
+    void start(uint64_t max_records);
+
+    /** True once the record budget / trace is exhausted. */
+    bool done() const { return done_; }
+
+    // MemClient
+    void recvResponse(PacketPtr pkt) override;
+    std::string clientName() const override { return name(); }
+
+    // ---- Measurement -----------------------------------------------------
+
+    uint64_t instructionsRetired() const
+    {
+        return instsRetired.value();
+    }
+    uint64_t recordsConsumed() const { return records.value(); }
+
+    /** Aggregate IPC since the last stats reset (timing mode). */
+    double
+    ipc(Tick elapsed) const
+    {
+        return elapsed ? double(instsRetired.value()) /
+                             double(elapsed)
+                       : 0.0;
+    }
+
+    stats::Scalar records;
+    stats::Scalar instsRetired;
+    stats::Scalar loadStallCycles;
+    stats::Scalar fetchStallCycles;
+    stats::Scalar storeStallCycles;
+    stats::Scalar loads;
+    stats::Scalar stores;
+
+  private:
+    /** Drive the state machine as far as it can go this tick. */
+    void advance();
+
+    /** Issue the instruction-fetch for the current record; true if
+     *  fetch completed without a stall. */
+    bool doFetch();
+
+    /** Issue the data access; true if it completed synchronously. */
+    bool doMem();
+
+    /** Load the next record; false at end of trace/budget. */
+    bool refill();
+
+    enum class Phase { NeedRecord, Fetch, Gap, Mem, Done };
+
+    CoreParams params_;
+    TraceSource *source_;
+    Cache *l1d_;
+    Cache *l1i_;
+
+    TraceRecord rec_;
+    Phase phase_ = Phase::NeedRecord;
+    uint64_t maxRecords_ = 0;
+    bool done_ = false;
+
+    /** Last instruction block fetched (suppresses repeat fetches). */
+    Addr lastFetchBlock_ = ~Addr(0);
+    /** Remaining instruction blocks to fetch for this record. */
+    std::deque<Addr> fetchQueue_;
+    bool waitingFetch_ = false;
+    bool waitingLoad_ = false;
+    Tick stallStart_ = 0;
+
+    unsigned storesInFlight_ = 0;
+    bool stalledOnStoreBuffer_ = false;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CPU_TRACE_CORE_HH

@@ -1,0 +1,132 @@
+#include "harness/metrics.hh"
+
+#include <cmath>
+
+namespace pvsim {
+
+CoverageMetrics
+coverageOf(System &sys)
+{
+    CoverageMetrics m;
+    for (int c = 0; c < sys.numCores(); ++c) {
+        Cache &l1d = sys.l1d(c);
+        m.covered += l1d.coveredMisses.value() +
+                     l1d.lateCovered.value();
+        m.uncovered += l1d.readMisses.value();
+        m.overpredictions += l1d.overpredictions.value();
+    }
+    return m;
+}
+
+TrafficMetrics
+trafficOf(System &sys)
+{
+    TrafficMetrics t;
+    Cache &l2 = sys.l2();
+    t.l2Requests = l2.requestsApp.value() + l2.requestsPv.value();
+    t.l2RequestsPv = l2.requestsPv.value();
+    t.l2MissesApp = l2.missesApp.value();
+    t.l2MissesPv = l2.missesPv.value();
+    t.l2WritebacksApp = l2.writebacksApp.value();
+    t.l2WritebacksPv = l2.writebacksPv.value();
+    t.offChipReadBytes = sys.dram().readBytes.value();
+    t.offChipWriteBytes = sys.dram().writeBytes.value();
+    return t;
+}
+
+double
+pctIncrease(uint64_t base, uint64_t now)
+{
+    if (base == 0)
+        return 0.0;
+    return 100.0 * (double(now) - double(base)) / double(base);
+}
+
+double
+aggregateIpc(uint64_t total_insts, Tick elapsed)
+{
+    return elapsed ? double(total_insts) / double(elapsed) : 0.0;
+}
+
+MeanCi
+meanCi(const std::vector<double> &samples)
+{
+    MeanCi r;
+    r.n = samples.size();
+    if (r.n == 0)
+        return r;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    r.mean = sum / double(r.n);
+    if (r.n < 2)
+        return r;
+    double ss = 0.0;
+    for (double s : samples)
+        ss += (s - r.mean) * (s - r.mean);
+    double stderr_ = std::sqrt(ss / double(r.n - 1)) /
+                     std::sqrt(double(r.n));
+    r.halfWidth = 1.96 * stderr_;
+    return r;
+}
+
+double
+timedIpc(SystemConfig cfg, uint64_t warmup_records,
+         uint64_t measure_records)
+{
+    cfg.mode = SimMode::Timing;
+    System sys(cfg);
+    if (warmup_records > 0)
+        sys.runTiming(warmup_records);
+    Tick start = sys.ctx().curTick();
+    sys.resetStats();
+    Tick finish = sys.runTiming(measure_records);
+    return aggregateIpc(sys.totalInstructions(), finish - start);
+}
+
+std::vector<double>
+baselineIpcs(SystemConfig base, uint64_t warmup_records,
+             uint64_t measure_records, unsigned batches)
+{
+    std::vector<double> ipcs;
+    for (unsigned b = 0; b < batches; ++b) {
+        base.seedOffset = b;
+        ipcs.push_back(timedIpc(base, warmup_records,
+                                measure_records));
+    }
+    return ipcs;
+}
+
+SpeedupResult
+speedupOverBaseline(const std::vector<double> &base_ipcs,
+                    SystemConfig cfg, uint64_t warmup_records,
+                    uint64_t measure_records)
+{
+    SpeedupResult r;
+    for (unsigned b = 0; b < base_ipcs.size(); ++b) {
+        cfg.seedOffset = b;
+        double ipc_cfg =
+            timedIpc(cfg, warmup_records, measure_records);
+        double speedup =
+            base_ipcs[b] > 0.0
+                ? 100.0 * (ipc_cfg / base_ipcs[b] - 1.0)
+                : 0.0;
+        r.batchPct.push_back(speedup);
+    }
+    MeanCi ci = meanCi(r.batchPct);
+    r.meanPct = ci.mean;
+    r.ciPct = ci.halfWidth;
+    return r;
+}
+
+SpeedupResult
+matchedPairSpeedup(SystemConfig base, SystemConfig cfg,
+                   uint64_t warmup_records, uint64_t measure_records,
+                   unsigned batches)
+{
+    return speedupOverBaseline(
+        baselineIpcs(base, warmup_records, measure_records, batches),
+        cfg, warmup_records, measure_records);
+}
+
+} // namespace pvsim

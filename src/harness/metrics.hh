@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Aggregated experiment metrics: coverage triples (Figures 4/5),
+ * traffic summaries (Figures 6-8, 10), aggregate IPC and matched-pair
+ * speedups with confidence intervals (Figures 9/11, using the
+ * batch-means analogue of the paper's matched-pair sampling).
+ */
+
+#ifndef PVSIM_HARNESS_METRICS_HH
+#define PVSIM_HARNESS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace pvsim {
+
+/**
+ * Prefetcher effectiveness, normalized the way the paper plots
+ * Figure 4: covered + uncovered = 100% of the L1 read misses the
+ * application would take without prefetching; overpredictions can
+ * push the bar above 100%.
+ */
+struct CoverageMetrics {
+    uint64_t covered = 0;   ///< read misses eliminated by prefetch
+    uint64_t uncovered = 0; ///< read misses remaining
+    uint64_t overpredictions = 0;
+
+    uint64_t denominator() const { return covered + uncovered; }
+
+    double
+    coveredPct() const
+    {
+        return denominator() ? 100.0 * double(covered) /
+                                   double(denominator())
+                             : 0.0;
+    }
+
+    double uncoveredPct() const
+    {
+        return denominator() ? 100.0 - coveredPct() : 0.0;
+    }
+
+    double
+    overpredictionPct() const
+    {
+        return denominator() ? 100.0 * double(overpredictions) /
+                                   double(denominator())
+                             : 0.0;
+    }
+};
+
+/** Sum L1D coverage counters across cores. */
+CoverageMetrics coverageOf(System &sys);
+
+/** Memory-system traffic counters for one run. */
+struct TrafficMetrics {
+    uint64_t l2Requests = 0;     ///< all requests arriving at L2
+    uint64_t l2RequestsPv = 0;   ///< ... of which PVProxy traffic
+    uint64_t l2MissesApp = 0;
+    uint64_t l2MissesPv = 0;
+    uint64_t l2WritebacksApp = 0; ///< L2 -> DRAM, application blocks
+    uint64_t l2WritebacksPv = 0;
+    uint64_t offChipReadBytes = 0;
+    uint64_t offChipWriteBytes = 0;
+
+    uint64_t l2Misses() const { return l2MissesApp + l2MissesPv; }
+    uint64_t
+    l2Writebacks() const
+    {
+        return l2WritebacksApp + l2WritebacksPv;
+    }
+    uint64_t
+    offChipBytes() const
+    {
+        return offChipReadBytes + offChipWriteBytes;
+    }
+};
+
+TrafficMetrics trafficOf(System &sys);
+
+/** Percentage increase of `now` over `base` (0 when base is 0). */
+double pctIncrease(uint64_t base, uint64_t now);
+
+/** Aggregate user IPC (paper Section 4.1's throughput metric). */
+double aggregateIpc(uint64_t total_insts, Tick elapsed);
+
+/** Mean and 95% confidence half-width over a sample. */
+struct MeanCi {
+    double mean = 0.0;
+    double halfWidth = 0.0;
+    size_t n = 0;
+};
+
+MeanCi meanCi(const std::vector<double> &samples);
+
+/**
+ * Matched-pair speedup of a config against a baseline, batch-means
+ * style: each batch b runs both configs with identical seeds
+ * (seedOffset = b) and compares their measured IPC.
+ */
+struct SpeedupResult {
+    double meanPct = 0.0;
+    double ciPct = 0.0; ///< 95% half-width
+    std::vector<double> batchPct;
+};
+
+/** One timing run: warmup, reset stats, measure; returns IPC. */
+double timedIpc(SystemConfig cfg, uint64_t warmup_records,
+                uint64_t measure_records);
+
+/** Matched-pair speedup of cfg vs base over `batches` seed pairs. */
+SpeedupResult matchedPairSpeedup(SystemConfig base, SystemConfig cfg,
+                                 uint64_t warmup_records,
+                                 uint64_t measure_records,
+                                 unsigned batches);
+
+/**
+ * Baseline IPCs for batches 0..n-1 (seedOffset = batch index),
+ * reusable across several matched configurations.
+ */
+std::vector<double> baselineIpcs(SystemConfig base,
+                                 uint64_t warmup_records,
+                                 uint64_t measure_records,
+                                 unsigned batches);
+
+/** Matched-pair speedup against precomputed baseline IPCs. */
+SpeedupResult speedupOverBaseline(const std::vector<double> &base_ipcs,
+                                  SystemConfig cfg,
+                                  uint64_t warmup_records,
+                                  uint64_t measure_records);
+
+} // namespace pvsim
+
+#endif // PVSIM_HARNESS_METRICS_HH

@@ -1,0 +1,252 @@
+#include "harness/system.hh"
+
+#include "trace/workload.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+const char *
+prefetchModeName(PrefetchMode mode)
+{
+    switch (mode) {
+      case PrefetchMode::None: return "baseline";
+      case PrefetchMode::SmsInfinite: return "SMS-Infinite";
+      case PrefetchMode::SmsDedicated: return "SMS";
+      case PrefetchMode::SmsVirtualized: return "SMS-PV";
+      case PrefetchMode::Stride: return "stride";
+    }
+    return "unknown";
+}
+
+std::string
+SystemConfig::label() const
+{
+    switch (prefetch) {
+      case PrefetchMode::None:
+        return "baseline";
+      case PrefetchMode::SmsInfinite:
+        return "SMS-Infinite";
+      case PrefetchMode::SmsDedicated:
+        return "SMS-" + phtGeometry.label();
+      case PrefetchMode::SmsVirtualized:
+        return "SMS-PV" + std::to_string(pvCacheEntries);
+      case PrefetchMode::Stride:
+        return "stride";
+    }
+    return "unknown";
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), ctx_(cfg.mode),
+      addrMap_(cfg.memBytes, cfg.numCores, cfg.pvBytesPerCore)
+{
+    pv_assert(cfg_.numCores > 0, "need at least one core");
+    pv_assert(cfg_.phtGeometry.numSets * uint64_t(kBlockBytes) <=
+                  cfg_.pvBytesPerCore,
+              "PVTable (%u sets) exceeds the per-core reservation",
+              cfg_.phtGeometry.numSets);
+
+    DramParams dp;
+    dp.name = "dram";
+    dp.latency = cfg_.memLatency;
+    dp.serviceInterval = cfg_.memServiceInterval;
+    dram_ = std::make_unique<Dram>(ctx_, dp, &addrMap_);
+
+    CacheParams l2p;
+    l2p.name = "l2";
+    l2p.sizeBytes = cfg_.l2SizeBytes;
+    l2p.assoc = cfg_.l2Assoc;
+    l2p.tagLatency = cfg_.l2TagLatency;
+    l2p.dataLatency = cfg_.l2DataLatency;
+    l2p.numMshrs = cfg_.l2Mshrs;
+    l2p.banks = cfg_.l2Banks;
+    l2p.directory = true;
+    l2p.dropPvWritebacks = cfg_.dropPvWritebacks;
+    l2_ = std::make_unique<Cache>(ctx_, l2p, &addrMap_);
+    l2_->setMemSide(dram_.get());
+
+    WorkloadParams wp = workloadPreset(cfg_.workload);
+    wp.seed += cfg_.seedOffset;
+
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        std::string cn = "core" + std::to_string(c);
+
+        CacheParams l1p;
+        l1p.sizeBytes = cfg_.l1SizeBytes;
+        l1p.assoc = cfg_.l1Assoc;
+        l1p.tagLatency = cfg_.l1TagLatency;
+        l1p.dataLatency = cfg_.l1DataLatency;
+        l1p.numMshrs = cfg_.l1Mshrs;
+
+        l1p.name = cn + ".l1d";
+        auto l1d = std::make_unique<Cache>(ctx_, l1p, &addrMap_);
+        l1p.name = cn + ".l1i";
+        auto l1i = std::make_unique<Cache>(ctx_, l1p, &addrMap_);
+
+        l1d->setMemSide(l2_.get());
+        l1d->setLowerSlot(l2_->attachClient(l1d.get()));
+        l1i->setMemSide(l2_.get());
+        l1i->setLowerSlot(l2_->attachClient(l1i.get()));
+
+        std::unique_ptr<TraceSource> workload;
+        if (!cfg_.traceDir.empty()) {
+            workload = std::make_unique<TraceFileReader>(
+                cfg_.traceDir + "/core" + std::to_string(c) +
+                ".pvtrace");
+        } else {
+            workload = std::make_unique<SyntheticWorkload>(wp, c);
+        }
+
+        CoreParams corep;
+        corep.name = cn;
+        corep.id = c;
+        corep.width = cfg_.coreWidth;
+        corep.storeBufferEntries = cfg_.storeBufferEntries;
+        auto core = std::make_unique<TraceCore>(
+            ctx_, corep, workload.get(), l1d.get(), l1i.get());
+
+        if (cfg_.nextLineL1I) {
+            auto nl = std::make_unique<NextLinePrefetcher>(
+                ctx_, cn + ".l1i_pf", l1i.get());
+            l1i->setListener(nl.get());
+            nextLines_.push_back(std::move(nl));
+        }
+
+        PatternHistoryTable *pht = nullptr;
+        std::unique_ptr<VirtualizedPht> vpht;
+        switch (cfg_.prefetch) {
+          case PrefetchMode::None:
+          case PrefetchMode::Stride: // handled below, PHT-less
+            break;
+          case PrefetchMode::SmsInfinite: {
+            auto p = std::make_unique<InfinitePht>();
+            pht = p.get();
+            ownedPhts_.push_back(std::move(p));
+            break;
+          }
+          case PrefetchMode::SmsDedicated: {
+            auto p = std::make_unique<SetAssocPht>(cfg_.phtGeometry);
+            pht = p.get();
+            ownedPhts_.push_back(std::move(p));
+            break;
+          }
+          case PrefetchMode::SmsVirtualized: {
+            VirtPhtParams vp;
+            vp.numSets = cfg_.phtGeometry.numSets;
+            vp.assoc = cfg_.phtGeometry.assoc;
+            vp.proxy.name = cn + ".pvproxy";
+            vp.proxy.pvCacheEntries = cfg_.pvCacheEntries;
+            // Shared tables: everyone gets core 0's PVStart
+            // (paper Section 2.1's alternative design).
+            Addr pv_start = cfg_.sharedPvTable
+                                ? addrMap_.pvStart(0)
+                                : addrMap_.pvStart(c);
+            vpht = std::make_unique<VirtualizedPht>(ctx_, vp,
+                                                    pv_start);
+            vpht->proxy().setMemSide(l2_.get());
+            pht = vpht.get();
+            break;
+          }
+        }
+
+        std::unique_ptr<SmsPrefetcher> sms;
+        if (pht) {
+            SmsParams sp;
+            sp.name = cn + ".sms";
+            sms = std::make_unique<SmsPrefetcher>(ctx_, sp,
+                                                  l1d.get(), pht);
+            l1d->setListener(sms.get());
+        }
+
+        std::unique_ptr<StridePrefetcher> stride;
+        if (cfg_.prefetch == PrefetchMode::Stride) {
+            StrideParams stp;
+            stp.name = cn + ".stride";
+            stride = std::make_unique<StridePrefetcher>(
+                ctx_, stp, l1d.get());
+            l1d->setListener(stride.get());
+        }
+        strides_.push_back(std::move(stride));
+
+        phts_.push_back(pht);
+        virtPhts_.push_back(std::move(vpht));
+        smses_.push_back(std::move(sms));
+        l1ds_.push_back(std::move(l1d));
+        l1is_.push_back(std::move(l1i));
+        workloads_.push_back(std::move(workload));
+        cores_.push_back(std::move(core));
+    }
+}
+
+System::~System() = default;
+
+void
+System::runFunctional(uint64_t refs_per_core)
+{
+    pv_assert(ctx_.mode() == SimMode::Functional,
+              "runFunctional on a timing system");
+    std::vector<bool> live(size_t(cfg_.numCores), true);
+    int live_count = cfg_.numCores;
+    for (uint64_t step = 0; step < refs_per_core && live_count > 0;
+         ++step) {
+        for (int c = 0; c < cfg_.numCores; ++c) {
+            if (!live[c])
+                continue;
+            if (!cores_[c]->stepFunctional()) {
+                live[c] = false;
+                --live_count;
+            }
+        }
+    }
+}
+
+Tick
+System::runTiming(uint64_t records_per_core)
+{
+    pv_assert(ctx_.mode() == SimMode::Timing,
+              "runTiming on a functional system");
+    for (auto &core : cores_)
+        core->start(records_per_core);
+
+    Tick last_finish = 0;
+    auto &eq = ctx_.events();
+    while (!eq.empty()) {
+        eq.runOneTick();
+        bool all_done = true;
+        for (auto &core : cores_)
+            all_done = all_done && core->done();
+        if (all_done) {
+            if (last_finish == 0)
+                last_finish = eq.curTick();
+            // Keep draining in-flight prefetches and writebacks.
+        }
+    }
+    return last_finish ? last_finish : eq.curTick();
+}
+
+uint64_t
+System::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->instructionsRetired();
+    return total;
+}
+
+bool
+System::quiesced() const
+{
+    bool q = l2_->quiesced();
+    for (const auto &c : l1ds_)
+        q = q && c->quiesced();
+    for (const auto &c : l1is_)
+        q = q && c->quiesced();
+    for (const auto &v : virtPhts_) {
+        if (v)
+            q = q && const_cast<VirtualizedPht &>(*v).proxy()
+                         .quiesced();
+    }
+    return q;
+}
+
+} // namespace pvsim

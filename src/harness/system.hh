@@ -1,0 +1,102 @@
+/**
+ * @file
+ * System: builds and owns the full simulated machine — cores, L1s,
+ * shared L2, DRAM, prefetchers, and (when configured) one PVProxy +
+ * PVTable per core — wired exactly as in the paper's Figure 1b.
+ */
+
+#ifndef PVSIM_HARNESS_SYSTEM_HH
+#define PVSIM_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/virt_pht.hh"
+#include "cpu/trace_core.hh"
+#include "harness/system_config.hh"
+#include "mem/addr_map.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+#include "trace/synthetic_gen.hh"
+#include "trace/trace_io.hh"
+
+namespace pvsim {
+
+/** A fully wired simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+    SimContext &ctx() { return ctx_; }
+    const AddrMap &addrMap() const { return addrMap_; }
+
+    int numCores() const { return cfg_.numCores; }
+    TraceCore &core(int i) { return *cores_.at(i); }
+    Cache &l1d(int i) { return *l1ds_.at(i); }
+    Cache &l1i(int i) { return *l1is_.at(i); }
+    Cache &l2() { return *l2_; }
+    Dram &dram() { return *dram_; }
+
+    /** SMS prefetcher of core i (nullptr when prefetch == None). */
+    SmsPrefetcher *sms(int i) { return smses_.at(i).get(); }
+    /** Stride prefetcher of core i (nullptr unless Stride mode). */
+    StridePrefetcher *stride(int i) { return strides_.at(i).get(); }
+    /** Trace source feeding core i. */
+    TraceSource &traceSource(int i) { return *workloads_.at(i); }
+    /** Virtualized PHT of core i (nullptr unless SmsVirtualized). */
+    VirtualizedPht *virtPht(int i) { return virtPhts_.at(i).get(); }
+    /** The PHT (any kind) of core i, or nullptr. */
+    PatternHistoryTable *pht(int i) { return phts_.at(i); }
+
+    /**
+     * Functional execution: steps the cores round-robin until each
+     * consumed refs_per_core records (or its trace ended).
+     */
+    void runFunctional(uint64_t refs_per_core);
+
+    /**
+     * Timing execution: each core runs until it consumed
+     * records_per_core records; returns the tick at which the last
+     * core finished (remaining in-flight work is then drained).
+     */
+    Tick runTiming(uint64_t records_per_core);
+
+    /** Reset all statistics (end of warmup). */
+    void resetStats() { ctx_.resetStats(); }
+
+    /** Sum of instructions retired across cores. */
+    uint64_t totalInstructions() const;
+
+    /** True when caches and proxies have nothing in flight. */
+    bool quiesced() const;
+
+  private:
+    SystemConfig cfg_;
+    SimContext ctx_;
+    AddrMap addrMap_;
+
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> l2_;
+    std::vector<std::unique_ptr<Cache>> l1ds_;
+    std::vector<std::unique_ptr<Cache>> l1is_;
+    std::vector<std::unique_ptr<TraceSource>> workloads_;
+    std::vector<std::unique_ptr<TraceCore>> cores_;
+    std::vector<std::unique_ptr<NextLinePrefetcher>> nextLines_;
+    std::vector<std::unique_ptr<SmsPrefetcher>> smses_;
+    std::vector<std::unique_ptr<StridePrefetcher>> strides_;
+    std::vector<std::unique_ptr<VirtualizedPht>> virtPhts_;
+    std::vector<std::unique_ptr<PatternHistoryTable>> ownedPhts_;
+    std::vector<PatternHistoryTable *> phts_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_HARNESS_SYSTEM_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's Table 1 machine (quad-core
+ * CMP, private 64 KB L1I/L1D, shared 8 MB 16-way 8-bank L2, 400-cycle
+ * DRAM) plus the prefetcher arrangement under study.
+ */
+
+#ifndef PVSIM_HARNESS_SYSTEM_CONFIG_HH
+#define PVSIM_HARNESS_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "prefetch/pht.hh"
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace pvsim {
+
+/** Which data prefetcher each core gets. */
+enum class PrefetchMode {
+    None,           ///< baseline (paper: "no data prefetching")
+    SmsInfinite,    ///< SMS with an unbounded PHT
+    SmsDedicated,   ///< SMS with a dedicated set-associative PHT
+    SmsVirtualized, ///< SMS with the PV PHT (the paper's design)
+    Stride,         ///< classic PC-stride comparator (not in paper)
+};
+
+const char *prefetchModeName(PrefetchMode mode);
+
+/** Full configuration of one simulated system. */
+struct SystemConfig {
+    SimMode mode = SimMode::Functional;
+    int numCores = 4;
+
+    // ---- Memory hierarchy (paper Table 1) ----------------------------
+    uint64_t l1SizeBytes = 64 * 1024;
+    unsigned l1Assoc = 4;
+    Cycles l1TagLatency = 1;
+    Cycles l1DataLatency = 1; // 2-cycle L1 total
+    unsigned l1Mshrs = 16;
+
+    uint64_t l2SizeBytes = 8ull * 1024 * 1024;
+    unsigned l2Assoc = 16;
+    unsigned l2Banks = 8;
+    Cycles l2TagLatency = 6;
+    Cycles l2DataLatency = 12;
+    unsigned l2Mshrs = 64;
+
+    Cycles memLatency = 400;
+    Cycles memServiceInterval = 4;
+    uint64_t memBytes = 3ull * 1024 * 1024 * 1024;
+
+    // ---- Cores ---------------------------------------------------------
+    unsigned coreWidth = 4;
+    unsigned storeBufferEntries = 8;
+    /** Next-line instruction prefetcher per core (Table 1). */
+    bool nextLineL1I = true;
+
+    // ---- Data prefetcher under study ------------------------------------
+    PrefetchMode prefetch = PrefetchMode::None;
+    /** PHT geometry (dedicated and virtualized): default 1K-11a. */
+    PhtGeometry phtGeometry{1024, 11};
+    /** PVCache entries for the virtualized PHT (paper: 8). */
+    unsigned pvCacheEntries = 8;
+    /** Paper Section 2.2 ablation: drop dirty PV lines at L2 evict. */
+    bool dropPvWritebacks = false;
+    /**
+     * Paper Section 2.1 option: all cores share one PVTable (one
+     * PVStart for everyone) instead of private per-core tables.
+     * Each core keeps its own PVProxy/PVCache; sharing is safe
+     * because predictor data is advisory. Useful when the cores run
+     * the same application (patterns learned by one core serve all).
+     */
+    bool sharedPvTable = false;
+
+    // ---- Workload ---------------------------------------------------------
+    /** Preset name ("apache", ..., "qry17") fed to every core. */
+    std::string workload = "apache";
+    /** Added to the preset seed (batching / matched pairs). */
+    uint64_t seedOffset = 0;
+    /**
+     * When non-empty, cores replay captured traces
+     * ("<traceDir>/core<i>.pvtrace") instead of generating
+     * synthetically (record/replay workflow).
+     */
+    std::string traceDir;
+
+    /** Reserved PVTable bytes per core (>= numSets * 64). */
+    uint64_t pvBytesPerCore = 64 * 1024;
+
+    /** Short label for reports, e.g. "SMS-1K" or "SMS-PV8". */
+    std::string label() const;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_HARNESS_SYSTEM_CONFIG_HH

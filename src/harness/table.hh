@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table formatter for the bench harnesses: aligned
+ * columns, optional CSV emission, numeric helpers. Every bench
+ * prints its paper table/figure through this so outputs are easy to
+ * diff against EXPERIMENTS.md.
+ */
+
+#ifndef PVSIM_HARNESS_TABLE_HH
+#define PVSIM_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pvsim {
+
+/** Column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "")
+        : title_(std::move(title))
+    {}
+
+    void setColumns(const std::vector<std::string> &headers)
+    {
+        headers_ = headers;
+    }
+
+    void addRow(const std::vector<std::string> &cells)
+    {
+        rows_.push_back(cells);
+    }
+
+    /** Pretty-print with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Emit comma-separated values (headers first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmtDouble(double v, int precision = 2);
+std::string fmtPct(double v, int precision = 1);
+std::string fmtBytes(double bytes);
+std::string fmtCount(uint64_t v);
+
+} // namespace pvsim
+
+#endif // PVSIM_HARNESS_TABLE_HH

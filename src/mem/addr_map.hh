@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical address map: application memory plus the reserved,
+ * OS-invisible per-core PVTable ranges (paper Section 2.1). Used by
+ * the PVProxy to compute request addresses and by the stats machinery
+ * to classify traffic into application vs. predictor data (Figure 8).
+ */
+
+#ifndef PVSIM_MEM_ADDR_MAP_HH
+#define PVSIM_MEM_ADDR_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+/** Traffic classification for an address. */
+enum class AddrClass { App, Pv };
+
+/** Immutable layout of physical memory for one simulated system. */
+class AddrMap
+{
+  public:
+    /**
+     * @param mem_bytes         Total physical memory (paper: 3 GB).
+     * @param num_cores         Cores, each with a private PVTable.
+     * @param pv_bytes_per_core Reserved PVTable bytes per core.
+     *
+     * The PV ranges are carved from the top of physical memory; the
+     * application range is everything below. The OS never sees the
+     * reserved chunk (the paper's no-OS-support design option).
+     */
+    AddrMap(uint64_t mem_bytes, int num_cores,
+            uint64_t pv_bytes_per_core)
+        : memBytes_(mem_bytes), numCores_(num_cores),
+          pvBytesPerCore_(pv_bytes_per_core)
+    {
+        uint64_t reserved = pvBytesPerCore_ * uint64_t(numCores_);
+        pv_assert(reserved < memBytes_,
+                  "PV reservation exceeds physical memory");
+        pvBase_ = memBytes_ - reserved;
+        pv_assert((pvBase_ % kBlockBytes) == 0,
+                  "PV base must be block aligned");
+    }
+
+    uint64_t memBytes() const { return memBytes_; }
+    int numCores() const { return numCores_; }
+    uint64_t pvBytesPerCore() const { return pvBytesPerCore_; }
+
+    /** First byte of any PV range. */
+    Addr pvBase() const { return pvBase_; }
+
+    /** Application addresses occupy [0, appLimit()). */
+    Addr appLimit() const { return pvBase_; }
+
+    /**
+     * Value loaded into core i's PVStart control register: base of
+     * that core's private PVTable (paper Section 2.1).
+     */
+    Addr
+    pvStart(int core) const
+    {
+        pv_assert(core >= 0 && core < numCores_, "bad core id %d",
+                  core);
+        return pvBase_ + uint64_t(core) * pvBytesPerCore_;
+    }
+
+    /** Classify an address for traffic statistics. */
+    AddrClass
+    classify(Addr a) const
+    {
+        return a >= pvBase_ && a < memBytes_ ? AddrClass::Pv
+                                             : AddrClass::App;
+    }
+
+    /** Which core's PVTable contains a? @pre classify(a) == Pv. */
+    int
+    pvOwner(Addr a) const
+    {
+        pv_assert(classify(a) == AddrClass::Pv, "not a PV address");
+        return int((a - pvBase_) / pvBytesPerCore_);
+    }
+
+  private:
+    uint64_t memBytes_;
+    int numCores_;
+    uint64_t pvBytesPerCore_;
+    Addr pvBase_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_MEM_ADDR_MAP_HH

@@ -1,0 +1,842 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+Cache::Cache(SimContext &ctx, const CacheParams &params,
+             const AddrMap *addr_map)
+    : SimObject(ctx, nullptr, params.name),
+      demandAccesses(this, "demand_accesses", "demand reads+writes"),
+      demandHits(this, "demand_hits", "demand hits"),
+      demandMisses(this, "demand_misses", "demand misses"),
+      readAccesses(this, "read_accesses", "demand reads"),
+      readHits(this, "read_hits", "demand read hits"),
+      readMisses(this, "read_misses", "demand read misses"),
+      writeAccesses(this, "write_accesses", "demand writes"),
+      writeHits(this, "write_hits", "demand write hits"),
+      writeMisses(this, "write_misses", "demand write misses"),
+      upgrades(this, "upgrades", "write-permission upgrades sent"),
+      prefetchIssued(this, "prefetch_issued",
+                     "prefetches accepted by this cache"),
+      prefetchDropped(this, "prefetch_dropped",
+                      "prefetches dropped (present or in flight)"),
+      prefetchFills(this, "prefetch_fills",
+                    "blocks filled by prefetch"),
+      coveredMisses(this, "covered_misses",
+                    "demand reads hitting an untouched prefetched "
+                    "block"),
+      lateCovered(this, "late_covered",
+                  "demand reads joining an in-flight prefetch"),
+      overpredictions(this, "overpredictions",
+                      "prefetched blocks evicted/invalidated unused"),
+      evictions(this, "evictions", "valid blocks replaced"),
+      writebacksOut(this, "writebacks_out",
+                    "dirty blocks written to the level below"),
+      cleanEvictsOut(this, "clean_evicts_out",
+                     "clean-eviction notices sent below"),
+      pvWritebacksDropped(this, "pv_writebacks_dropped",
+                          "dirty PV victims dropped on-chip "
+                          "(virtualization-aware ablation)"),
+      invalidationsSent(this, "invalidations_sent",
+                        "directory invalidations to upstream caches"),
+      invalidationsRecv(this, "invalidations_recv",
+                        "invalidations received from below"),
+      downgradesRecv(this, "downgrades_recv",
+                     "write-permission downgrades received"),
+      recalls(this, "recalls",
+              "dirty upstream copies pulled into this level"),
+      mshrCoalesced(this, "mshr_coalesced",
+                    "requests merged into an existing MSHR"),
+      mshrRejects(this, "mshr_rejects",
+                  "requests refused because all MSHRs were busy"),
+      requestsApp(this, "requests_app",
+                  "requests served for application addresses"),
+      requestsPv(this, "requests_pv",
+                 "requests served for PVTable addresses"),
+      missesApp(this, "misses_app", "misses to application addresses"),
+      missesPv(this, "misses_pv", "misses to PVTable addresses"),
+      writebacksApp(this, "writebacks_app",
+                    "writebacks below, application addresses"),
+      writebacksPv(this, "writebacks_pv",
+                   "writebacks below, PVTable addresses"),
+      missLatency(this, "miss_latency",
+                  "demand miss latency (cycles)", 0, 1600, 50),
+      params_(params), addrMap_(addr_map),
+      mshrs_(params.numMshrs)
+{
+    pv_assert(params_.sizeBytes % (uint64_t(params_.assoc) *
+                                   kBlockBytes) == 0,
+              "cache size must be a multiple of assoc * block size");
+    numSets_ = unsigned(params_.sizeBytes /
+                        (uint64_t(params_.assoc) * kBlockBytes));
+    pv_assert(numSets_ > 0, "cache must have at least one set");
+    sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.resize(params_.assoc);
+    repl_ = makeReplacementPolicy(params_.replPolicy);
+    bankFreeAt_.assign(std::max(1u, params_.banks), 0);
+    if (params_.dropPvWritebacks)
+        pv_assert(addrMap_ != nullptr,
+                  "dropPvWritebacks requires an address map");
+}
+
+int
+Cache::attachClient(MemClient *client)
+{
+    pv_assert(clients_.size() < 32, "too many directory clients");
+    clients_.push_back(client);
+    return int(clients_.size()) - 1;
+}
+
+// ---------------------------------------------------------------------
+// Lookup helpers
+// ---------------------------------------------------------------------
+
+CacheBlk *
+Cache::findBlock(Addr block_addr)
+{
+    Addr aligned = blockAlign(block_addr);
+    auto &set = sets_[setIndex(aligned)];
+    for (auto &blk : set) {
+        if (blk.valid && blk.blockAddr == aligned)
+            return &blk;
+    }
+    return nullptr;
+}
+
+const CacheBlk *
+Cache::peekBlock(Addr block_addr) const
+{
+    Addr aligned = blockAlign(block_addr);
+    const auto &set =
+        sets_[unsigned(blockNumber(aligned) % numSets_)];
+    for (const auto &blk : set) {
+        if (blk.valid && blk.blockAddr == aligned)
+            return &blk;
+    }
+    return nullptr;
+}
+
+uint64_t
+Cache::numValidBlocks() const
+{
+    uint64_t n = 0;
+    for (const auto &set : sets_)
+        for (const auto &blk : set)
+            if (blk.valid)
+                ++n;
+    return n;
+}
+
+bool
+Cache::quiesced() const
+{
+    return mshrs_.used() == 0 && sendQueue_.empty();
+}
+
+// ---------------------------------------------------------------------
+// Statistics helpers
+// ---------------------------------------------------------------------
+
+void
+Cache::countRequest(const Packet &pkt, bool hit)
+{
+    const bool is_pv =
+        addrMap_ ? addrMap_->classify(pkt.addr) == AddrClass::Pv
+                 : pkt.isPv;
+    if (is_pv)
+        ++requestsPv;
+    else
+        ++requestsApp;
+    if (!hit) {
+        if (is_pv)
+            ++missesPv;
+        else
+            ++missesApp;
+    }
+
+    if (pkt.isPrefetch || pkt.isWriteback() || pkt.isCleanEvict())
+        return;
+
+    ++demandAccesses;
+    if (pkt.isWrite() || pkt.isUpgrade()) {
+        ++writeAccesses;
+        if (hit)
+            ++writeHits;
+        else
+            ++writeMisses;
+    } else {
+        ++readAccesses;
+        if (hit)
+            ++readHits;
+        else
+            ++readMisses;
+    }
+    if (hit)
+        ++demandHits;
+    else
+        ++demandMisses;
+}
+
+// ---------------------------------------------------------------------
+// Coherence helpers (directory lives in the inclusive L2)
+// ---------------------------------------------------------------------
+
+void
+Cache::invalidateSharers(CacheBlk &blk, int keep_slot)
+{
+    if (!params_.directory)
+        return;
+    if (blk.ownerSlot >= 0 && blk.ownerSlot != keep_slot) {
+        // The owner may hold newer data; treat it as merged here.
+        blk.dirty = true;
+        blk.ownerSlot = -1;
+    }
+    for (size_t slot = 0; slot < clients_.size(); ++slot) {
+        if (int(slot) == keep_slot)
+            continue;
+        if (blk.sharers & (1u << slot)) {
+            clients_[slot]->recvInvalidate(blk.blockAddr);
+            ++invalidationsSent;
+        }
+    }
+    blk.sharers = keep_slot >= 0 ? (1u << keep_slot) & blk.sharers
+                                 : 0;
+    if (keep_slot < 0)
+        blk.ownerSlot = -1;
+}
+
+void
+Cache::recallIfDirtyAbove(CacheBlk &blk)
+{
+    if (!params_.directory || blk.ownerSlot < 0)
+        return;
+    clients_[blk.ownerSlot]->recvDowngrade(blk.blockAddr);
+    blk.dirty = true; // merged modified data
+    blk.ownerSlot = -1;
+    ++recalls;
+}
+
+// ---------------------------------------------------------------------
+// Core state machine, shared between functional and timing modes
+// ---------------------------------------------------------------------
+
+void
+Cache::serveHit(Packet &pkt, CacheBlk &blk)
+{
+    countRequest(pkt, true);
+    completeAccess_(pkt, blk);
+}
+
+void
+Cache::completeAccess_(Packet &pkt, CacheBlk &blk)
+{
+    repl_->touch(blk, ++accessCounter_);
+
+    switch (pkt.cmd) {
+      case MemCmd::ReadReq:
+      case MemCmd::PrefetchReq:
+        if (params_.directory) {
+            if (blk.ownerSlot >= 0 && blk.ownerSlot != pkt.srcSlot)
+                recallIfDirtyAbove(blk);
+            if (pkt.coherent && pkt.srcSlot >= 0)
+                blk.sharers |= 1u << pkt.srcSlot;
+        }
+        if (!pkt.isPrefetch && blk.wasPrefetched) {
+            ++coveredMisses;
+            blk.wasPrefetched = false;
+        }
+        if (blk.hasData())
+            pkt.setData(blk.data->data());
+        pkt.grantsWritable = false;
+        break;
+
+      case MemCmd::WriteReq:
+      case MemCmd::UpgradeReq:
+        if (params_.directory) {
+            invalidateSharers(blk, pkt.srcSlot);
+            if (pkt.coherent && pkt.srcSlot >= 0) {
+                blk.sharers |= 1u << pkt.srcSlot;
+                blk.ownerSlot = int8_t(pkt.srcSlot);
+            }
+        } else {
+            // L1 store: the caller guarantees write permission.
+            blk.dirty = true;
+        }
+        blk.wasPrefetched = false;
+        if (pkt.cmd == MemCmd::WriteReq && blk.hasData())
+            pkt.setData(blk.data->data());
+        pkt.grantsWritable = true;
+        break;
+
+      default:
+        panic("completeAccess on unexpected cmd %s",
+              memCmdName(pkt.cmd));
+    }
+    pkt.makeResponse();
+}
+
+CacheBlk &
+Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
+                    bool is_inst, bool was_prefetch,
+                    const Packet::Data *data)
+{
+    Addr aligned = blockAlign(block_addr);
+    auto &set = sets_[setIndex(aligned)];
+
+    CacheBlk *frame = nullptr;
+    for (auto &blk : set) {
+        if (!blk.valid) {
+            frame = &blk;
+            break;
+        }
+    }
+    if (!frame) {
+        victimScratch_.clear();
+        for (auto &blk : set)
+            victimScratch_.push_back(&blk);
+        frame = victimScratch_[repl_->victim(victimScratch_)];
+        evictBlock(*frame);
+    }
+
+    frame->blockAddr = aligned;
+    frame->valid = true;
+    frame->dirty = false;
+    frame->writable = writable;
+    frame->wasPrefetched = was_prefetch;
+    frame->isInst = is_inst;
+    frame->isPv = is_pv;
+    frame->sharers = 0;
+    frame->ownerSlot = -1;
+    ++accessCounter_;
+    frame->lastTouch = accessCounter_;
+    frame->insertedAt = accessCounter_;
+    if (data)
+        frame->ensureData() = *data;
+    else
+        frame->data.reset();
+    if (was_prefetch)
+        ++prefetchFills;
+    return *frame;
+}
+
+void
+Cache::evictBlock(CacheBlk &blk)
+{
+    pv_assert(blk.valid, "evicting an invalid block");
+    ++evictions;
+
+    // Inclusive directory: remove all upstream copies first.
+    invalidateSharers(blk, -1);
+
+    if (blk.wasPrefetched)
+        ++overpredictions;
+
+    const bool is_pv =
+        addrMap_ ? addrMap_->classify(blk.blockAddr) == AddrClass::Pv
+                 : blk.isPv;
+
+    if (blk.dirty) {
+        if (params_.dropPvWritebacks && is_pv) {
+            // Virtualization-aware option (paper Section 2.2): the
+            // dirty predictor line is silently discarded; predictor
+            // data is advisory so only effectiveness is affected.
+            ++pvWritebacksDropped;
+        } else {
+            auto *wb = new Packet(MemCmd::Writeback, blk.blockAddr,
+                                  kInvalidCore);
+            wb->coherent = !params_.directory;
+            wb->srcSlot = slotAtLower_;
+            wb->isPv = blk.isPv;
+            wb->isInstFetch = blk.isInst;
+            if (blk.hasData())
+                wb->setData(blk.data->data());
+            ++writebacksOut;
+            if (is_pv)
+                ++writebacksPv;
+            else
+                ++writebacksApp;
+            emitDown(wb);
+        }
+    } else if (!params_.directory && memSide_) {
+        // Clean-eviction notice keeps the L2 directory exact.
+        auto *ce = new Packet(MemCmd::CleanEvict, blk.blockAddr,
+                              kInvalidCore);
+        ce->srcSlot = slotAtLower_;
+        ce->isPv = blk.isPv;
+        ++cleanEvictsOut;
+        emitDown(ce);
+    }
+
+    if (listener_)
+        listener_->onEvict(blk.blockAddr);
+
+    blk.invalidate();
+}
+
+void
+Cache::handleWriteback(Packet &pkt)
+{
+    CacheBlk *blk = findBlock(pkt.addr);
+    const bool is_pv =
+        addrMap_ ? addrMap_->classify(pkt.addr) == AddrClass::Pv
+                 : pkt.isPv;
+    if (is_pv)
+        ++requestsPv;
+    else
+        ++requestsApp;
+
+    if (pkt.isCleanEvict()) {
+        if (blk && params_.directory && pkt.srcSlot >= 0) {
+            blk->sharers &= ~(1u << pkt.srcSlot);
+            if (blk->ownerSlot == pkt.srcSlot)
+                blk->ownerSlot = -1;
+        }
+        return;
+    }
+
+    // Dirty writeback from above.
+    if (blk) {
+        blk->dirty = true;
+        if (pkt.hasData())
+            blk->ensureData() = *pkt.data;
+        if (params_.directory && pkt.srcSlot >= 0) {
+            blk->sharers &= ~(1u << pkt.srcSlot);
+            if (blk->ownerSlot == pkt.srcSlot)
+                blk->ownerSlot = -1;
+        }
+    } else {
+        // Allocate-on-writeback (e.g. a PVProxy line after the L2
+        // copy was evicted, or a race with this level's eviction).
+        CacheBlk &nb = installBlock(pkt.addr, true, pkt.isPv,
+                                    pkt.isInstFetch, false,
+                                    pkt.data.get());
+        nb.dirty = true;
+    }
+}
+
+void
+Cache::emitDown(PacketPtr pkt)
+{
+    if (!memSide_) {
+        delete pkt;
+        return;
+    }
+    if (!isTiming()) {
+        memSide_->functionalAccess(*pkt);
+        delete pkt;
+        return;
+    }
+    sendQueue_.push_back(pkt);
+    drainSendQueue();
+}
+
+// ---------------------------------------------------------------------
+// Functional mode
+// ---------------------------------------------------------------------
+
+void
+Cache::functionalAccess(Packet &pkt)
+{
+    if (pkt.isWriteback() || pkt.isCleanEvict()) {
+        handleWriteback(pkt);
+        return;
+    }
+
+    CacheBlk *blk = findBlock(pkt.addr);
+
+    // Upgrade with the line still present needs no fill; with the
+    // line lost (race with eviction) it degenerates to a write miss.
+    bool hit = blk != nullptr;
+    if (pkt.isUpgrade() && !hit)
+        pkt.cmd = MemCmd::WriteReq;
+
+    if (listener_ && !pkt.isPrefetch) {
+        listener_->onAccess(pkt.pc, pkt.addr,
+                            pkt.isWrite() || pkt.isUpgrade(), hit,
+                            hit && blk->wasPrefetched &&
+                                !pkt.isInstFetch);
+        if (!hit) {
+            // The listener may have prefetched this very block (a
+            // perfectly timely prefetch); re-probe and count it as
+            // a covered miss through the normal hit path.
+            blk = findBlock(pkt.addr);
+            hit = blk != nullptr;
+        }
+    }
+
+    if (hit) {
+        if ((pkt.isWrite() || pkt.isUpgrade()) &&
+            !params_.directory && !blk->writable) {
+            // Store hit without write permission: upgrade below so
+            // remote sharers are invalidated (keeps the directory
+            // and cross-core generation-ending behaviour exact even
+            // with zero-latency accesses).
+            pv_assert(memSide_ != nullptr, "upgrade with no mem side");
+            Packet up(MemCmd::UpgradeReq, blockAlign(pkt.addr),
+                      pkt.coreId);
+            up.pc = pkt.pc;
+            up.coherent = pkt.coherent;
+            up.srcSlot = slotAtLower_;
+            memSide_->functionalAccess(up);
+            blk->writable = true;
+        }
+        serveHit(pkt, *blk);
+        return;
+    }
+
+    countRequest(pkt, false);
+
+    // Miss: fetch the block from below, install, then complete.
+    pv_assert(memSide_ != nullptr, "%s: miss with no memory side",
+              name().c_str());
+    MemCmd down_cmd = pkt.needsWritable() ? MemCmd::WriteReq
+                                          : pkt.cmd;
+    Packet dpkt(down_cmd, blockAlign(pkt.addr), pkt.coreId);
+    dpkt.pc = pkt.pc;
+    dpkt.isInstFetch = pkt.isInstFetch;
+    dpkt.isPv = pkt.isPv;
+    dpkt.isPrefetch = pkt.isPrefetch;
+    dpkt.coherent = pkt.coherent;
+    dpkt.srcSlot = slotAtLower_;
+    memSide_->functionalAccess(dpkt);
+
+    CacheBlk &nb = installBlock(pkt.addr, dpkt.grantsWritable,
+                                pkt.isPv, pkt.isInstFetch,
+                                pkt.isPrefetch, dpkt.data.get());
+    completeAccess_(pkt, nb);
+}
+
+// ---------------------------------------------------------------------
+// Timing mode
+// ---------------------------------------------------------------------
+
+Tick
+Cache::bankReadyTick(Addr block_addr)
+{
+    unsigned bank = params_.banks > 1 ? bankIndex(block_addr) : 0;
+    Tick ready = std::max(curTick(), bankFreeAt_[bank]);
+    bankFreeAt_[bank] = ready + params_.tagLatency;
+    return ready;
+}
+
+bool
+Cache::recvRequest(PacketPtr pkt)
+{
+    pv_assert(isTiming(), "recvRequest in functional mode");
+    pv_assert(pkt->isRequest(), "recvRequest with non-request %s",
+              memCmdName(pkt->cmd));
+
+    if (pkt->isWriteback() || pkt->isCleanEvict()) {
+        // Writebacks are sunk immediately; backpressure comes from
+        // the sender's queue, not from here.
+        handleWriteback(*pkt);
+        delete pkt;
+        return true;
+    }
+
+    // Structural backpressure: refuse when the MSHR file (including
+    // accepted-but-unresolved lookups) is full and the request
+    // cannot coalesce, or our own send queue is clogged.
+    bool mshr_budget_full =
+        mshrs_.used() + pendingLookups_ >= mshrs_.capacity();
+    if (mshr_budget_full && !mshrs_.find(blockAlign(pkt->addr)) &&
+        !findBlock(pkt->addr)) {
+        ++mshrRejects;
+        return false;
+    }
+    if (sendQueue_.size() >= params_.writeBufferEntries +
+                                 params_.numMshrs) {
+        ++mshrRejects;
+        return false;
+    }
+
+    if (pkt->issueTick == 0)
+        pkt->issueTick = curTick();
+
+    ++pendingLookups_;
+    Tick ready = bankReadyTick(pkt->addr);
+    Tick lookup_done = ready + params_.tagLatency;
+    schedule(lookup_done - curTick(),
+             [this, pkt] { handleLookup(pkt); });
+    return true;
+}
+
+bool
+Cache::probeAccess(PacketPtr pkt)
+{
+    pv_assert(isTiming(), "probeAccess in functional mode");
+    if (pkt->issueTick == 0)
+        pkt->issueTick = curTick();
+
+    CacheBlk *blk = findBlock(pkt->addr);
+    bool hit = blk != nullptr;
+
+    if (pkt->isUpgrade() && !hit)
+        pkt->cmd = MemCmd::WriteReq;
+
+    if (listener_ && !pkt->isPrefetch) {
+        listener_->onAccess(pkt->pc, pkt->addr,
+                            pkt->isWrite() || pkt->isUpgrade(), hit,
+                            hit && blk->wasPrefetched &&
+                                !pkt->isInstFetch);
+    }
+
+    if (hit) {
+        if ((pkt->isWrite() || pkt->isUpgrade()) &&
+            !params_.directory && !blk->writable) {
+            // Store hit without write permission: upgrade below.
+            countRequest(*pkt, true);
+            missToMshr_(pkt, MemCmd::UpgradeReq);
+            return false;
+        }
+        serveHit(*pkt, *blk);
+        return true;
+    }
+
+    countRequest(*pkt, false);
+    missToMshr_(pkt, pkt->needsWritable() ? MemCmd::WriteReq
+                                          : pkt->cmd);
+    return false;
+}
+
+void
+Cache::handleLookup(PacketPtr pkt)
+{
+    pv_assert(pendingLookups_ > 0, "lookup underflow");
+    --pendingLookups_;
+    if (probeAccess(pkt)) {
+        MemClient *dst = pkt->src;
+        schedule(params_.dataLatency,
+                 [dst, pkt] { dst->recvResponse(pkt); },
+                 EventQueue::kPrioResponse);
+    }
+}
+
+void
+Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
+{
+    Addr baddr = blockAlign(pkt->addr);
+    Mshr *mshr = mshrs_.find(baddr);
+    if (mshr) {
+        ++mshrCoalesced;
+        if (mshr->prefetchOnly && !pkt->isPrefetch) {
+            mshr->prefetchOnly = false;
+            ++lateCovered;
+        }
+        mshr->needsWritable |= pkt->needsWritable();
+        if (pkt->isPrefetch) {
+            // A prefetch joining any in-flight miss is redundant.
+            ++prefetchDropped;
+            delete pkt;
+            return;
+        }
+        mshr->targets.push_back(pkt);
+        return;
+    }
+
+    if (mshrs_.full()) {
+        // Filled up since acceptance; retry the MSHR allocation only
+        // (stats and listener hooks already ran exactly once).
+        schedule(1, [this, pkt, down_cmd] {
+            missToMshr_(pkt, down_cmd);
+        });
+        return;
+    }
+
+    Mshr &m = mshrs_.allocate(baddr, curTick());
+    m.needsWritable = pkt->needsWritable();
+    m.prefetchOnly = pkt->isPrefetch;
+    m.wasPrefetch = pkt->isPrefetch;
+    // All upstream packets (including prefetches forwarded from an
+    // L1) wait as targets and are answered at fill time.
+    m.targets.push_back(pkt);
+
+    if (down_cmd == MemCmd::UpgradeReq)
+        ++upgrades;
+
+    auto *dpkt = new Packet(down_cmd, baddr, pkt->coreId);
+    dpkt->pc = pkt->pc;
+    dpkt->isInstFetch = pkt->isInstFetch;
+    dpkt->isPv = pkt->isPv;
+    dpkt->isPrefetch = pkt->isPrefetch;
+    dpkt->coherent = pkt->coherent;
+    dpkt->src = this;
+    dpkt->srcSlot = slotAtLower_;
+    dpkt->issueTick = curTick();
+    m.inService = true;
+    sendDownstream(dpkt);
+}
+
+void
+Cache::sendDownstream(PacketPtr pkt)
+{
+    sendQueue_.push_back(pkt);
+    drainSendQueue();
+}
+
+void
+Cache::drainSendQueue()
+{
+    if (drainScheduled_ || sendQueue_.empty())
+        return;
+    pv_assert(memSide_ != nullptr, "%s: no memory side",
+              name().c_str());
+    while (!sendQueue_.empty()) {
+        PacketPtr head = sendQueue_.front();
+        if (!memSide_->recvRequest(head))
+            break;
+        sendQueue_.pop_front();
+    }
+    if (!sendQueue_.empty()) {
+        drainScheduled_ = true;
+        schedule(1, [this] {
+            drainScheduled_ = false;
+            drainSendQueue();
+        });
+    }
+}
+
+void
+Cache::recvResponse(PacketPtr pkt)
+{
+    Addr baddr = blockAlign(pkt->addr);
+    Mshr *mshr = mshrs_.find(baddr);
+    pv_assert(mshr != nullptr, "%s: response with no MSHR for %llx",
+              name().c_str(), (unsigned long long)baddr);
+
+    // The block may already be valid here (an upgrade, or a race
+    // where another path installed it); update in place then, never
+    // create a duplicate frame for the same tag.
+    CacheBlk *blk = findBlock(baddr);
+    if (blk) {
+        blk->writable |= pkt->grantsWritable;
+        if (pkt->hasData())
+            blk->ensureData() = *pkt->data;
+    } else {
+        blk = &installBlock(baddr, pkt->grantsWritable, pkt->isPv,
+                            pkt->isInstFetch, mshr->prefetchOnly,
+                            pkt->data.get());
+    }
+
+    // Complete the waiting targets in arrival order.
+    std::vector<PacketPtr> targets;
+    targets.swap(mshr->targets);
+    mshrs_.deallocate(*mshr);
+
+    for (PacketPtr t : targets) {
+        if (t->isPrefetchReq() && t->src == nullptr) {
+            // Self-issued prefetch: the fill itself was the point.
+            delete t;
+            continue;
+        }
+        completeAccess_(*t, *blk);
+        if (!t->isPrefetch)
+            missLatency.sample(curTick() - t->issueTick);
+        MemClient *dst = t->src;
+        pv_assert(dst != nullptr, "target with no source client");
+        schedule(params_.dataLatency,
+                 [dst, t] { dst->recvResponse(t); },
+                 EventQueue::kPrioResponse);
+    }
+
+    delete pkt;
+}
+
+void
+Cache::recvInvalidate(Addr block_addr)
+{
+    CacheBlk *blk = findBlock(block_addr);
+    if (!blk)
+        return;
+    ++invalidationsRecv;
+    if (blk->wasPrefetched)
+        ++overpredictions;
+    if (listener_)
+        listener_->onInvalidate(blk->blockAddr);
+    blk->invalidate();
+}
+
+void
+Cache::recvDowngrade(Addr block_addr)
+{
+    CacheBlk *blk = findBlock(block_addr);
+    if (!blk)
+        return;
+    ++downgradesRecv;
+    blk->writable = false;
+    blk->dirty = false; // merged into the level below by the caller
+}
+
+// ---------------------------------------------------------------------
+// Prefetch side door
+// ---------------------------------------------------------------------
+
+bool
+Cache::issuePrefetch(Addr block_addr, Addr pc)
+{
+    Addr baddr = blockAlign(block_addr);
+    if (findBlock(baddr)) {
+        ++prefetchDropped;
+        return false;
+    }
+
+    if (!isTiming()) {
+        pv_assert(memSide_ != nullptr, "prefetch with no memory side");
+        ++prefetchIssued;
+        countRequest_prefetch_(baddr);
+        Packet dpkt(MemCmd::PrefetchReq, baddr, kInvalidCore);
+        dpkt.pc = pc;
+        dpkt.isPrefetch = true;
+        dpkt.srcSlot = slotAtLower_;
+        memSide_->functionalAccess(dpkt);
+        installBlock(baddr, false, false, false, true,
+                     dpkt.data.get());
+        return true;
+    }
+
+    if (mshrs_.find(baddr)) {
+        ++prefetchDropped;
+        return false;
+    }
+    if (mshrs_.full()) {
+        ++prefetchDropped;
+        return false;
+    }
+
+    ++prefetchIssued;
+    countRequest_prefetch_(baddr);
+    Mshr &m = mshrs_.allocate(baddr, curTick());
+    m.prefetchOnly = true;
+    m.wasPrefetch = true;
+    m.inService = true;
+
+    auto *dpkt = new Packet(MemCmd::PrefetchReq, baddr, kInvalidCore);
+    dpkt->pc = pc;
+    dpkt->isPrefetch = true;
+    dpkt->src = this;
+    dpkt->srcSlot = slotAtLower_;
+    dpkt->issueTick = curTick();
+    sendDownstream(dpkt);
+    return true;
+}
+
+void
+Cache::countRequest_prefetch_(Addr baddr)
+{
+    const bool is_pv =
+        addrMap_ && addrMap_->classify(baddr) == AddrClass::Pv;
+    if (is_pv) {
+        ++requestsPv;
+        ++missesPv;
+    } else {
+        ++requestsApp;
+        ++missesApp;
+    }
+}
+
+} // namespace pvsim

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Set-associative, non-blocking, write-back write-allocate cache.
+ * One class serves as private L1I/L1D and as the shared, banked,
+ * inclusive L2 (with an embedded MSI-style directory over the
+ * attached coherent clients). Supports both functional mode
+ * (synchronous, zero latency, identical state transitions) and
+ * timing mode (event-driven with tag/data/bank latencies and MSHR
+ * occupancy).
+ *
+ * The PVProxy injects its requests here exactly like an L1 would
+ * ("on the backside of the L1", paper Section 1) — the cache is
+ * oblivious to PV data except for statistics classification.
+ */
+
+#ifndef PVSIM_MEM_CACHE_HH
+#define PVSIM_MEM_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "mem/cache_blk.hh"
+#include "mem/mshr.hh"
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "mem/replacement.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+
+namespace pvsim {
+
+/** Static configuration of one cache. */
+struct CacheParams {
+    std::string name = "cache";
+    uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    /** Cycles from acceptance to tag resolution. */
+    Cycles tagLatency = 1;
+    /** Additional cycles from tag resolution to a hit response. */
+    Cycles dataLatency = 1;
+    unsigned numMshrs = 16;
+    unsigned writeBufferEntries = 16;
+    /** Interleaved banks (block-granularity); L2 uses 8 (Table 1). */
+    unsigned banks = 1;
+    /**
+     * Inclusive directory behaviour: track upstream sharers, send
+     * back-invalidations on eviction, handle recalls/upgrades. Used
+     * by the shared L2.
+     */
+    bool directory = false;
+    std::string replPolicy = "lru";
+    /**
+     * Paper Section 2.2 design option: drop dirty PV-range victim
+     * blocks instead of writing them off-chip ("the caches become
+     * virtualization aware"). Requires an AddrMap.
+     */
+    bool dropPvWritebacks = false;
+};
+
+/**
+ * Observer interface for components that shadow one cache's
+ * activity — the SMS prefetcher trains on L1D accesses and ends
+ * pattern generations on evictions/invalidations.
+ */
+class CacheListener
+{
+  public:
+    virtual ~CacheListener() = default;
+
+    /**
+     * Demand access completed its lookup.
+     * @param hit            Block was present.
+     * @param prefetched_hit Hit on a not-yet-demand-touched
+     *                       prefetched block (a covered miss).
+     */
+    virtual void onAccess(Addr pc, Addr addr, bool is_write, bool hit,
+                          bool prefetched_hit) = 0;
+
+    /** A valid block left the cache by replacement. */
+    virtual void onEvict(Addr block_addr) = 0;
+
+    /** A valid block left the cache by external invalidation. */
+    virtual void onInvalidate(Addr block_addr) = 0;
+};
+
+/** The cache proper. */
+class Cache : public SimObject, public MemDevice, public MemClient
+{
+  public:
+    Cache(SimContext &ctx, const CacheParams &params,
+          const AddrMap *addr_map = nullptr);
+
+    // -- Wiring -----------------------------------------------------
+
+    /** Connect the next level down (L2 for an L1; DRAM for the L2). */
+    void setMemSide(MemDevice *dev) { memSide_ = dev; }
+
+    /**
+     * Register an upstream coherent client (an L1 registering with
+     * the L2). The returned slot must be stamped into srcSlot of
+     * every coherent request the client sends here.
+     */
+    int attachClient(MemClient *client);
+
+    /** Record this cache's directory slot at the level below. */
+    void setLowerSlot(int slot) { slotAtLower_ = slot; }
+
+    /** Observer of this cache's demand activity (may be nullptr). */
+    void setListener(CacheListener *l) { listener_ = l; }
+
+    // -- MemDevice (requests from above) ----------------------------
+
+    bool recvRequest(PacketPtr pkt) override;
+    void functionalAccess(Packet &pkt) override;
+    std::string deviceName() const override { return name(); }
+
+    // -- MemClient (fills and coherence from below) ------------------
+
+    void recvResponse(PacketPtr pkt) override;
+    void recvInvalidate(Addr block_addr) override;
+    void recvDowngrade(Addr block_addr) override;
+    std::string clientName() const override { return name(); }
+
+    // -- Pipelined front side (cores) ---------------------------------
+
+    /**
+     * Timing-mode synchronous lookup, used by the cores to model a
+     * pipelined L1 front side: a hit completes the packet in place
+     * and returns true (no events, no stall); a miss (or a store
+     * needing an upgrade) enters the MSHR path and returns false —
+     * the response is delivered to pkt->src later.
+     */
+    bool probeAccess(PacketPtr pkt);
+
+    // -- Prefetch side door ------------------------------------------
+
+    /**
+     * Issue a prefetch for block_addr into this cache (the paper
+     * prefetches directly into the L1 with no intermediate buffer).
+     * Returns false if dropped (already present, already in flight,
+     * or no MSHR available).
+     */
+    bool issuePrefetch(Addr block_addr, Addr pc);
+
+    // -- Introspection (tests, stats, harness) ------------------------
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return params_.assoc; }
+    uint64_t sizeBytes() const { return params_.sizeBytes; }
+
+    /** Non-mutating block lookup (tests / invariant checks). */
+    const CacheBlk *peekBlock(Addr block_addr) const;
+
+    /** True if the cache holds the block (valid). */
+    bool contains(Addr block_addr) const
+    {
+        return peekBlock(block_addr) != nullptr;
+    }
+
+    /** Count of valid blocks (tests). */
+    uint64_t numValidBlocks() const;
+
+    /** Visit every valid block (tests / invariant checks). */
+    template <typename Fn>
+    void
+    forEachValidBlock(Fn &&fn) const
+    {
+        for (const auto &set : sets_)
+            for (const auto &blk : set)
+                if (blk.valid)
+                    fn(blk);
+    }
+
+    /** Outstanding misses (tests / draining). */
+    unsigned outstandingMisses() const { return mshrs_.used(); }
+
+    /** True when no activity is pending inside the cache. */
+    bool quiesced() const;
+
+    const CacheParams &params() const { return params_; }
+
+    // -- Statistics (public: read directly by the harness) -----------
+
+    stats::Scalar demandAccesses;
+    stats::Scalar demandHits;
+    stats::Scalar demandMisses;
+    stats::Scalar readAccesses;
+    stats::Scalar readHits;
+    stats::Scalar readMisses;
+    stats::Scalar writeAccesses;
+    stats::Scalar writeHits;
+    stats::Scalar writeMisses;
+    stats::Scalar upgrades;
+
+    stats::Scalar prefetchIssued;     ///< accepted into the cache
+    stats::Scalar prefetchDropped;    ///< redundant (present/inflight)
+    stats::Scalar prefetchFills;
+    stats::Scalar coveredMisses;      ///< demand hit on prefetched blk
+    stats::Scalar lateCovered;        ///< demand joined inflight pf
+    stats::Scalar overpredictions;    ///< prefetched blk evicted unused
+
+    stats::Scalar evictions;
+    stats::Scalar writebacksOut;
+    stats::Scalar cleanEvictsOut;
+    stats::Scalar pvWritebacksDropped;
+
+    stats::Scalar invalidationsSent;  ///< directory -> upstream
+    stats::Scalar invalidationsRecv;
+    stats::Scalar downgradesRecv;
+    stats::Scalar recalls;            ///< dirty-owner fetch at L2
+
+    stats::Scalar mshrCoalesced;
+    stats::Scalar mshrRejects;
+
+    /** Requests served, classified for Figures 6-8. */
+    stats::Scalar requestsApp;
+    stats::Scalar requestsPv;
+    stats::Scalar missesApp;
+    stats::Scalar missesPv;
+    stats::Scalar writebacksApp;
+    stats::Scalar writebacksPv;
+
+    stats::Distribution missLatency;
+
+  private:
+    // -- Geometry -----------------------------------------------------
+
+    unsigned setIndex(Addr block_addr) const
+    {
+        return unsigned(blockNumber(block_addr) % numSets_);
+    }
+
+    unsigned bankIndex(Addr block_addr) const
+    {
+        return unsigned(blockNumber(block_addr) % params_.banks);
+    }
+
+    CacheBlk *findBlock(Addr block_addr);
+
+    // -- Core state machine (shared functional/timing) ----------------
+
+    /**
+     * Serve a request that hit in blk: coherence actions, dirty/LRU
+     * updates, stats, payload copy, response conversion. Leaves pkt
+     * as a response.
+     */
+    void serveHit(Packet &pkt, CacheBlk &blk);
+
+    /**
+     * The hit/fill completion common to both modes: coherence,
+     * dirty/LRU update, coverage accounting, payload copy, response
+     * conversion. No hit/miss stat counting.
+     */
+    void completeAccess_(Packet &pkt, CacheBlk &blk);
+
+    /** Timing: route a missing request into the MSHR file. */
+    void missToMshr_(PacketPtr pkt, MemCmd down_cmd);
+
+    /** Count a self-issued prefetch in the request class stats. */
+    void countRequest_prefetch_(Addr baddr);
+
+    /**
+     * Allocate (possibly evicting) a block frame for block_addr and
+     * fill it from a response/fill packet's point of view.
+     */
+    CacheBlk &installBlock(Addr block_addr, bool writable, bool is_pv,
+                           bool is_inst, bool was_prefetch,
+                           const Packet::Data *data);
+
+    /** Evict blk: back-invalidate, write back or drop, notify. */
+    void evictBlock(CacheBlk &blk);
+
+    /** Handle an incoming Writeback/CleanEvict from above. */
+    void handleWriteback(Packet &pkt);
+
+    /** Directory: invalidate all upstream sharers except keep_slot. */
+    void invalidateSharers(CacheBlk &blk, int keep_slot);
+
+    /** Directory: pull a dirty upstream copy into this level. */
+    void recallIfDirtyAbove(CacheBlk &blk);
+
+    /** Send a writeback/clean-evict downstream (mode dependent). */
+    void emitDown(PacketPtr pkt);
+
+    /** Classify and count a served request. */
+    void countRequest(const Packet &pkt, bool hit);
+
+    // -- Timing machinery ----------------------------------------------
+
+    void handleLookup(PacketPtr pkt);
+    void handleMiss(PacketPtr pkt);
+    void sendDownstream(PacketPtr pkt);
+    void drainSendQueue();
+    Tick bankReadyTick(Addr block_addr);
+
+    // -- Members --------------------------------------------------------
+
+    CacheParams params_;
+    const AddrMap *addrMap_;
+    unsigned numSets_;
+    std::vector<std::vector<CacheBlk>> sets_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    uint64_t accessCounter_ = 0;
+
+    MemDevice *memSide_ = nullptr;
+    std::vector<MemClient *> clients_;
+    CacheListener *listener_ = nullptr;
+    int slotAtLower_ = -1;
+
+    MshrFile mshrs_;
+    /** Accepted requests whose tag lookup has not resolved yet;
+     *  counted against the MSHR budget so acceptance is honest. */
+    unsigned pendingLookups_ = 0;
+    /** Reused victim-candidate buffer (avoids per-miss allocation). */
+    std::vector<CacheBlk *> victimScratch_;
+    /** Downstream packets awaiting acceptance (misses, writebacks). */
+    std::deque<PacketPtr> sendQueue_;
+    bool drainScheduled_ = false;
+    unsigned writeBufferUsed_ = 0;
+
+    std::vector<Tick> bankFreeAt_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_MEM_CACHE_HH

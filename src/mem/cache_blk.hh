@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cache block (line) state. One CacheBlk per way per set; payload
+ * storage is lazily allocated because only PV data carries real
+ * bytes through the hierarchy.
+ */
+
+#ifndef PVSIM_MEM_CACHE_BLK_HH
+#define PVSIM_MEM_CACHE_BLK_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace pvsim {
+
+/** State of one cache line, including directory info when in an L2. */
+struct CacheBlk {
+    /** Tag (the full block address, for simplicity and debugging). */
+    Addr blockAddr = 0;
+
+    bool valid = false;
+    /** Locally modified relative to the level below. */
+    bool dirty = false;
+    /** Held in M/E: stores may hit without an upgrade. */
+    bool writable = false;
+
+    /** Filled by a prefetch and not yet touched by demand. */
+    bool wasPrefetched = false;
+    /** Instruction-side block (for stats only). */
+    bool isInst = false;
+    /** PV-range block (stats classification only). */
+    bool isPv = false;
+
+    /** LRU timestamp (monotonic access counter of the cache). */
+    uint64_t lastTouch = 0;
+    /** Insertion timestamp. */
+    uint64_t insertedAt = 0;
+
+    /**
+     * Directory state (used only by an inclusive L2): bitmask of
+     * upstream coherent clients holding this block, and which (if
+     * any) may have a dirty copy.
+     */
+    uint32_t sharers = 0;
+    int8_t ownerSlot = -1;
+
+    /** Optional payload (PV blocks only in practice). */
+    std::unique_ptr<std::array<uint8_t, kBlockBytes>> data;
+
+    bool hasData() const { return data != nullptr; }
+
+    std::array<uint8_t, kBlockBytes> &
+    ensureData()
+    {
+        if (!data) {
+            data = std::make_unique<std::array<uint8_t, kBlockBytes>>();
+            data->fill(0);
+        }
+        return *data;
+    }
+
+    /** Return to the invalid state, releasing any payload. */
+    void
+    invalidate()
+    {
+        valid = false;
+        dirty = false;
+        writable = false;
+        wasPrefetched = false;
+        isInst = false;
+        isPv = false;
+        sharers = 0;
+        ownerSlot = -1;
+        data.reset();
+    }
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_MEM_CACHE_BLK_HH

@@ -1,0 +1,26 @@
+#include "mem/packet.hh"
+
+namespace pvsim {
+
+std::atomic<uint64_t> Packet::nextId_{0};
+std::atomic<int64_t> Packet::liveCount_{0};
+
+const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::ReadReq: return "ReadReq";
+      case MemCmd::WriteReq: return "WriteReq";
+      case MemCmd::UpgradeReq: return "UpgradeReq";
+      case MemCmd::PrefetchReq: return "PrefetchReq";
+      case MemCmd::Writeback: return "Writeback";
+      case MemCmd::CleanEvict: return "CleanEvict";
+      case MemCmd::ReadResp: return "ReadResp";
+      case MemCmd::WriteResp: return "WriteResp";
+      case MemCmd::UpgradeResp: return "UpgradeResp";
+      case MemCmd::PrefetchResp: return "PrefetchResp";
+    }
+    return "UnknownCmd";
+}
+
+} // namespace pvsim

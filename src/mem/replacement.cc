@@ -1,0 +1,19 @@
+#include "mem/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace pvsim {
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, uint64_t seed)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(seed);
+    if (name == "fifo")
+        return std::make_unique<FifoPolicy>();
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+} // namespace pvsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures. The policy
+ * object is stateless; per-block state lives in the blocks' LRU
+ * fields, so one policy instance can serve any number of sets.
+ */
+
+#ifndef PVSIM_MEM_REPLACEMENT_HH
+#define PVSIM_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cache_blk.hh"
+#include "util/random.hh"
+
+namespace pvsim {
+
+/** Abstract victim-selection policy over the ways of one set. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Choose a victim among candidates (all ways of one set).
+     * Invalid ways must be preferred by callers before invoking the
+     * policy; candidates here are all valid.
+     * @return index into candidates.
+     */
+    virtual size_t
+    victim(const std::vector<CacheBlk *> &candidates) = 0;
+
+    /** Called on every hit/fill so stateful policies can learn. */
+    virtual void touch(CacheBlk &blk, uint64_t now) { blk.lastTouch = now; }
+
+    virtual std::string policyName() const = 0;
+};
+
+/** Least recently used (paper Table 1 uses LRU everywhere). */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        size_t best = 0;
+        for (size_t i = 1; i < candidates.size(); ++i) {
+            if (candidates[i]->lastTouch <
+                candidates[best]->lastTouch) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    std::string policyName() const override { return "lru"; }
+};
+
+/** Uniform random victim (ablation baseline). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed = 1) : rng_(seed) {}
+
+    size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        return size_t(rng_.below(candidates.size()));
+    }
+
+    std::string policyName() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** FIFO by insertion time (ablation baseline). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    size_t
+    victim(const std::vector<CacheBlk *> &candidates) override
+    {
+        size_t best = 0;
+        for (size_t i = 1; i < candidates.size(); ++i) {
+            if (candidates[i]->insertedAt <
+                candidates[best]->insertedAt) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    void touch(CacheBlk &, uint64_t) override {}
+
+    std::string policyName() const override { return "fifo"; }
+};
+
+/** Factory from a policy name ("lru", "random", "fifo"). */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, uint64_t seed = 1);
+
+} // namespace pvsim
+
+#endif // PVSIM_MEM_REPLACEMENT_HH

@@ -1,0 +1,215 @@
+#include "prefetch/agt.hh"
+
+#include "util/logging.hh"
+
+namespace pvsim {
+
+ActiveGenerationTable::ActiveGenerationTable(
+    const AgtParams &params, const RegionGeometry &geom,
+    GenerationSink sink)
+    : params_(params), geom_(geom), sink_(std::move(sink))
+{
+    pv_assert(params_.filterEntries > 0 && params_.accumEntries > 0,
+              "AGT tables must be non-empty");
+    filter_.resize(params_.filterEntries);
+    accum_.resize(params_.accumEntries);
+}
+
+ActiveGenerationTable::FilterEntry *
+ActiveGenerationTable::findFilter(Addr region_tag)
+{
+    for (auto &e : filter_) {
+        if (e.valid && e.regionTag == region_tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+ActiveGenerationTable::AccumEntry *
+ActiveGenerationTable::findAccum(Addr region_tag)
+{
+    for (auto &e : accum_) {
+        if (e.valid && e.regionTag == region_tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+ActiveGenerationTable::endGeneration(AccumEntry &e)
+{
+    ++generationsEnded;
+    sink_(makePhtKey(e.pc, e.offset), e.pattern);
+    e.valid = false;
+}
+
+bool
+ActiveGenerationTable::recordAccess(Addr pc, Addr addr)
+{
+    Addr tag = geom_.regionTag(addr);
+    unsigned offset = geom_.blockOffset(addr);
+
+    if (AccumEntry *acc = findAccum(tag)) {
+        acc->pattern |= SpatialPattern(1) << offset;
+        acc->lastTouch = ++touchCounter_;
+        return false;
+    }
+
+    if (FilterEntry *f = findFilter(tag)) {
+        if (f->offset == offset) {
+            // Repeat access to the trigger block: still one block.
+            f->lastTouch = ++touchCounter_;
+            return false;
+        }
+        // Second distinct block: promote to the accumulation table.
+        AccumEntry *slot = nullptr;
+        for (auto &e : accum_) {
+            if (!e.valid) {
+                slot = &e;
+                break;
+            }
+        }
+        if (!slot) {
+            // Capacity: the LRU active generation ends early and its
+            // pattern is transferred to the PHT.
+            slot = &accum_[0];
+            for (auto &e : accum_) {
+                if (e.lastTouch < slot->lastTouch)
+                    slot = &e;
+            }
+            ++accumEvictions;
+            endGeneration(*slot);
+        }
+        slot->valid = true;
+        slot->regionTag = tag;
+        slot->pc = f->pc;
+        slot->offset = f->offset;
+        slot->pattern = (SpatialPattern(1) << f->offset) |
+                        (SpatialPattern(1) << offset);
+        slot->lastTouch = ++touchCounter_;
+        f->valid = false;
+        return false;
+    }
+
+    // No active generation: this is a triggering access.
+    FilterEntry *slot = nullptr;
+    for (auto &e : filter_) {
+        if (!e.valid) {
+            slot = &e;
+            break;
+        }
+    }
+    if (!slot) {
+        // Filter eviction is silent: a one-access region is exactly
+        // what the filter exists to keep out of the PHT.
+        slot = &filter_[0];
+        for (auto &e : filter_) {
+            if (e.lastTouch < slot->lastTouch)
+                slot = &e;
+        }
+        ++filterEvictions;
+        ++generationsFiltered;
+    }
+    slot->valid = true;
+    slot->regionTag = tag;
+    slot->pc = pc;
+    slot->offset = uint8_t(offset);
+    slot->lastTouch = ++touchCounter_;
+    return true;
+}
+
+void
+ActiveGenerationTable::blockRemoved(Addr addr)
+{
+    Addr tag = geom_.regionTag(addr);
+    unsigned offset = geom_.blockOffset(addr);
+
+    if (AccumEntry *acc = findAccum(tag)) {
+        if (acc->pattern & (SpatialPattern(1) << offset))
+            endGeneration(*acc);
+        return;
+    }
+    if (FilterEntry *f = findFilter(tag)) {
+        if (f->offset == offset) {
+            // The lone accessed block left the cache: the generation
+            // ends with one access and is filtered out.
+            f->valid = false;
+            ++generationsFiltered;
+        }
+    }
+}
+
+void
+ActiveGenerationTable::flush()
+{
+    for (auto &e : accum_) {
+        if (e.valid)
+            endGeneration(e);
+    }
+    for (auto &e : filter_) {
+        if (e.valid) {
+            e.valid = false;
+            ++generationsFiltered;
+        }
+    }
+}
+
+unsigned
+ActiveGenerationTable::activeFilterEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : filter_)
+        n += e.valid;
+    return n;
+}
+
+unsigned
+ActiveGenerationTable::activeAccumEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : accum_)
+        n += e.valid;
+    return n;
+}
+
+bool
+ActiveGenerationTable::isActive(Addr addr) const
+{
+    Addr tag = geom_.regionTag(addr);
+    for (const auto &e : accum_)
+        if (e.valid && e.regionTag == tag)
+            return true;
+    for (const auto &e : filter_)
+        if (e.valid && e.regionTag == tag)
+            return true;
+    return false;
+}
+
+SpatialPattern
+ActiveGenerationTable::patternFor(Addr addr) const
+{
+    Addr tag = geom_.regionTag(addr);
+    for (const auto &e : accum_)
+        if (e.valid && e.regionTag == tag)
+            return e.pattern;
+    for (const auto &e : filter_)
+        if (e.valid && e.regionTag == tag)
+            return SpatialPattern(1) << e.offset;
+    return 0;
+}
+
+uint64_t
+ActiveGenerationTable::storageBits(unsigned region_tag_bits) const
+{
+    // Filter: valid + region tag + 16-bit PC slice + 5-bit offset.
+    uint64_t filter_bits =
+        params_.filterEntries *
+        (1ull + region_tag_bits + kPhtPcBits + kPhtOffsetBits);
+    // Accumulation: adds the 32-bit pattern.
+    uint64_t accum_bits =
+        params_.accumEntries * (1ull + region_tag_bits + kPhtPcBits +
+                                kPhtOffsetBits + 32);
+    return filter_bits + accum_bits;
+}
+
+} // namespace pvsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Spatial region geometry (paper Section 3.1): memory is split into
+ * contiguous regions of a fixed number of cache blocks; a spatial
+ * pattern is a bit vector over the blocks of one region.
+ */
+
+#ifndef PVSIM_PREFETCH_REGION_HH
+#define PVSIM_PREFETCH_REGION_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+/** Spatial pattern: bit i set = block i of the region was accessed. */
+using SpatialPattern = uint32_t;
+
+/** Geometry of spatial regions. */
+class RegionGeometry
+{
+  public:
+    /** @param blocks_per_region Paper default: 32 (2 KB regions). */
+    explicit RegionGeometry(unsigned blocks_per_region = 32)
+        : blocks_(blocks_per_region)
+    {
+        pv_assert(isPowerOf2(blocks_), "region blocks must be 2^n");
+        pv_assert(blocks_ <= 32,
+                  "patterns are 32-bit; regions larger than 32 "
+                  "blocks are not representable");
+        offsetBits_ = unsigned(floorLog2(blocks_));
+    }
+
+    unsigned blocksPerRegion() const { return blocks_; }
+    unsigned offsetBits() const { return offsetBits_; }
+    Addr regionBytes() const { return Addr(blocks_) * kBlockBytes; }
+
+    /** Base address of the region containing a. */
+    Addr regionBase(Addr a) const { return a & ~(regionBytes() - 1); }
+
+    /** Block index of a within its region (0..blocks-1). */
+    unsigned
+    blockOffset(Addr a) const
+    {
+        return unsigned((a >> kBlockShift) & (blocks_ - 1));
+    }
+
+    /** Region tag: unique id of the region (base >> log2(bytes)). */
+    Addr
+    regionTag(Addr a) const
+    {
+        return a / regionBytes();
+    }
+
+    /** Address of block `offset` within the region containing a. */
+    Addr
+    blockAddr(Addr region_base, unsigned offset) const
+    {
+        pv_assert(offset < blocks_, "offset outside region");
+        return region_base + Addr(offset) * kBlockBytes;
+    }
+
+  private:
+    unsigned blocks_;
+    unsigned offsetBits_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_PREFETCH_REGION_HH

@@ -1,0 +1,105 @@
+#include "prefetch/stride.hh"
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+StridePrefetcher::StridePrefetcher(SimContext &ctx,
+                                   const StrideParams &params,
+                                   Cache *target)
+    : SimObject(ctx, nullptr, params.name),
+      lookups(this, "lookups", "table lookups"),
+      strideConfirms(this, "stride_confirms",
+                     "accesses confirming the recorded stride"),
+      prefetchesIssued(this, "prefetches_issued",
+                       "prefetches accepted by the cache"),
+      params_(params), target_(target)
+{
+    pv_assert(target_ != nullptr, "stride prefetcher needs a cache");
+    pv_assert(params_.tableAssoc > 0 &&
+                  params_.tableEntries % params_.tableAssoc == 0,
+              "table entries must divide evenly into ways");
+    numSets_ = params_.tableEntries / params_.tableAssoc;
+    table_.resize(params_.tableEntries);
+}
+
+StridePrefetcher::Entry *
+StridePrefetcher::find(Addr pc)
+{
+    size_t base = (pc >> 2) % numSets_ * params_.tableAssoc;
+    for (unsigned w = 0; w < params_.tableAssoc; ++w) {
+        Entry &e = table_[base + w];
+        if (e.valid && e.pcTag == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+StridePrefetcher::Entry &
+StridePrefetcher::allocate(Addr pc)
+{
+    size_t base = (pc >> 2) % numSets_ * params_.tableAssoc;
+    Entry *victim = &table_[base];
+    for (unsigned w = 0; w < params_.tableAssoc; ++w) {
+        Entry &e = table_[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastTouch < victim->lastTouch)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->pcTag = pc;
+    victim->stride = 0;
+    victim->confidence = 0;
+    return *victim;
+}
+
+void
+StridePrefetcher::onAccess(Addr pc, Addr addr, bool /*is_write*/,
+                           bool /*hit*/, bool /*prefetched_hit*/)
+{
+    ++lookups;
+    Entry *e = find(pc);
+    if (!e) {
+        Entry &n = allocate(pc);
+        n.lastAddr = addr;
+        n.lastTouch = ++touchCounter_;
+        return;
+    }
+
+    int64_t delta = int64_t(addr) - int64_t(e->lastAddr);
+    if (delta != 0 && delta == e->stride) {
+        ++strideConfirms;
+        if (e->confidence < 15)
+            ++e->confidence;
+    } else {
+        e->stride = delta;
+        e->confidence = e->confidence > 0 ? e->confidence - 1 : 0;
+    }
+    e->lastAddr = addr;
+    e->lastTouch = ++touchCounter_;
+
+    if (e->confidence >= params_.threshold && e->stride != 0) {
+        for (unsigned d = 1; d <= params_.degree; ++d) {
+            int64_t target =
+                int64_t(addr) + e->stride * int64_t(d);
+            if (target <= 0)
+                break;
+            if (target_->issuePrefetch(Addr(target), pc))
+                ++prefetchesIssued;
+        }
+    }
+}
+
+uint64_t
+StridePrefetcher::storageBits() const
+{
+    // valid + pc tag (30b) + last addr (42b) + stride (16b) +
+    // confidence (4b) per entry.
+    return uint64_t(params_.tableEntries) * (1 + 30 + 42 + 16 + 4);
+}
+
+} // namespace pvsim

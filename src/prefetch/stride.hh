@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Classic PC-indexed stride prefetcher (reference-prediction-table
+ * style). Not part of the paper's evaluation — the paper's baseline
+ * has no data prefetcher — but a standard comparator a downstream
+ * user expects next to SMS, and a useful foil: stride tables are
+ * small, so virtualization buys them little; SMS-class pattern
+ * tables are exactly the predictors PV targets.
+ */
+
+#ifndef PVSIM_PREFETCH_STRIDE_HH
+#define PVSIM_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+
+namespace pvsim {
+
+/** Stride prefetcher configuration. */
+struct StrideParams {
+    std::string name = "stride";
+    unsigned tableEntries = 256;
+    unsigned tableAssoc = 4;
+    /** Prefetch distance in strides once a stride is confirmed. */
+    unsigned degree = 2;
+    /** Confirmations required before prefetching. */
+    unsigned threshold = 2;
+};
+
+/** PC-indexed stride predictor + prefetch issue. */
+class StridePrefetcher : public SimObject, public CacheListener
+{
+  public:
+    StridePrefetcher(SimContext &ctx, const StrideParams &params,
+                     Cache *target);
+
+    // CacheListener
+    void onAccess(Addr pc, Addr addr, bool is_write, bool hit,
+                  bool prefetched_hit) override;
+    void onEvict(Addr) override {}
+    void onInvalidate(Addr) override {}
+
+    /** Dedicated storage in bits (for comparison tables). */
+    uint64_t storageBits() const;
+
+    stats::Scalar lookups;
+    stats::Scalar strideConfirms;
+    stats::Scalar prefetchesIssued;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        Addr pcTag = 0;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        unsigned confidence = 0;
+        uint64_t lastTouch = 0;
+    };
+
+    Entry *find(Addr pc);
+    Entry &allocate(Addr pc);
+
+    StrideParams params_;
+    Cache *target_;
+    unsigned numSets_;
+    std::vector<Entry> table_;
+    uint64_t touchCounter_ = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_PREFETCH_STRIDE_HH

@@ -1,0 +1,114 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pvsim {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, int priority, std::function<void()> fn)
+{
+    pv_assert(when >= curTick_,
+              "event scheduled in the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)curTick_);
+    EventId id = nextId_++;
+    heap_.push_back(Entry{when, priority, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    pending_.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    pending_.erase(id);
+}
+
+void
+EventQueue::setCurTick(Tick to)
+{
+    pv_assert(to >= curTick_, "cannot rewind time");
+    pv_assert(empty() || nextTick() >= to,
+              "setCurTick would skip pending events");
+    curTick_ = to;
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    pv_assert(!heap_.empty(), "nextTick on an empty queue");
+    // The heap may have stale (cancelled) entries at the top; they
+    // can only be earlier than the earliest live event, so scanning
+    // is needed for exactness. The common case has no stale top.
+    if (pending_.count(heap_.front().id))
+        return heap_.front().when;
+    Tick best = kMaxTick;
+    for (const Entry &e : heap_) {
+        if (e.when < best && pending_.count(e.id))
+            best = e.when;
+    }
+    return best;
+}
+
+bool
+EventQueue::popNext(Entry &out)
+{
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        Entry e = std::move(heap_.back());
+        heap_.pop_back();
+        auto it = pending_.find(e.id);
+        if (it == pending_.end())
+            continue; // cancelled; drop silently
+        pending_.erase(it);
+        out = std::move(e);
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    uint64_t executed = 0;
+    Entry e;
+    while (!heap_.empty()) {
+        // Peek: stop without popping if the earliest live event is
+        // beyond the limit.
+        if (!pending_.count(heap_.front().id)) {
+            // Stale top; pop and discard.
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+            heap_.pop_back();
+            continue;
+        }
+        if (heap_.front().when > limit)
+            break;
+        if (!popNext(e))
+            break;
+        pv_assert(e.when >= curTick_, "event queue went backwards");
+        curTick_ = e.when;
+        e.fn();
+        ++numExecuted_;
+        ++executed;
+    }
+    return executed;
+}
+
+uint64_t
+EventQueue::runOneTick()
+{
+    if (empty())
+        return 0;
+    return runUntil(nextTick());
+}
+
+void
+EventQueue::reset()
+{
+    heap_.clear();
+    pending_.clear();
+    curTick_ = 0;
+}
+
+} // namespace pvsim

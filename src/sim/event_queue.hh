@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Discrete-event queue: the backbone of timing-mode simulation.
+ * Events are closures scheduled at absolute ticks; same-tick events
+ * are ordered by priority (lower first), then by scheduling order.
+ */
+
+#ifndef PVSIM_SIM_EVENT_QUEUE_HH
+#define PVSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pvsim {
+
+/** Tick-ordered queue of callbacks with stable same-tick ordering. */
+class EventQueue
+{
+  public:
+    using EventId = uint64_t;
+
+    /** Standard event priorities (lower executes first). */
+    enum Priority {
+        kPrioResponse = -10, ///< deliver responses before new requests
+        kPrioDefault = 0,
+        kPrioCpu = 10, ///< CPU ticks run after memory-system events
+    };
+
+    /**
+     * Schedule fn to run at absolute tick when.
+     * @pre when >= curTick().
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, int priority,
+                     std::function<void()> fn);
+
+    EventId
+    schedule(Tick when, std::function<void()> fn)
+    {
+        return schedule(when, kPrioDefault, std::move(fn));
+    }
+
+    /** Cancel a pending event; no-op if it already ran. */
+    void cancel(EventId id);
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Advance time without events (used by drivers that know the
+     * next interesting tick). @pre to >= curTick().
+     */
+    void setCurTick(Tick to);
+
+    /** True if no pending (non-cancelled) events remain. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Number of pending events. */
+    size_t numPending() const { return pending_.size(); }
+
+    /** Tick of the earliest pending event. @pre !empty(). */
+    Tick nextTick() const;
+
+    /**
+     * Run events until the queue drains or limit is exceeded
+     * (events scheduled at ticks > limit stay queued).
+     * @return Number of events executed.
+     */
+    uint64_t runUntil(Tick limit = kMaxTick);
+
+    /** Execute exactly the events of the current earliest tick. */
+    uint64_t runOneTick();
+
+    /** Drop all pending events and rewind time to zero. */
+    void reset();
+
+    /** Total events ever executed (for microbenchmarks/tests). */
+    uint64_t numExecuted() const { return numExecuted_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        EventId id;
+        std::function<void()> fn;
+        // Min-heap order: earliest tick, then lowest priority value,
+        // then insertion order for stability.
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return id > o.id;
+        }
+    };
+
+    /** Pop the earliest live entry into out; false if none. */
+    bool popNext(Entry &out);
+
+    std::vector<Entry> heap_;
+    std::unordered_set<EventId> pending_;
+    Tick curTick_ = 0;
+    EventId nextId_ = 0;
+    uint64_t numExecuted_ = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_SIM_EVENT_QUEUE_HH

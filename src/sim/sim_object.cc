@@ -1,0 +1,11 @@
+#include "sim/sim_object.hh"
+
+// SimObject and SimContext are header-only; this translation unit
+// exists so the library has a stable archive member for the sim
+// kernel and to catch ODR/include breakage early.
+
+namespace pvsim {
+
+static_assert(sizeof(Tick) == 8, "ticks must be 64-bit");
+
+} // namespace pvsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental simulator types and global constants.
+ *
+ * Time is counted in ticks; one tick is one CPU clock cycle (the
+ * paper quotes all latencies in cycles of a 4 GHz core, so no
+ * frequency conversion is needed anywhere).
+ */
+
+#ifndef PVSIM_SIM_TYPES_HH
+#define PVSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pvsim {
+
+/** Simulated time, in CPU cycles. */
+using Tick = uint64_t;
+
+/** Physical memory address. */
+using Addr = uint64_t;
+
+/** Latencies and durations, in CPU cycles. */
+using Cycles = uint64_t;
+
+/** Sentinel for "never". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/**
+ * Cache block size in bytes. The entire hierarchy uses 64-byte
+ * blocks, as in the paper (Table 1); the PVTable packing (Figure 3a)
+ * depends on this value.
+ */
+constexpr unsigned kBlockBytes = 64;
+
+/** log2(kBlockBytes), for address <-> block-number conversions. */
+constexpr unsigned kBlockShift = 6;
+
+/** Convert an address to its block-aligned base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~Addr(kBlockBytes - 1);
+}
+
+/** Convert an address to a block number. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> kBlockShift;
+}
+
+/** Invalid core/requestor id. */
+constexpr int kInvalidCore = -1;
+
+} // namespace pvsim
+
+#endif // PVSIM_SIM_TYPES_HH

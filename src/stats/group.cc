@@ -1,0 +1,64 @@
+#include "stats/group.hh"
+
+#include <algorithm>
+
+#include "stats/stat.hh"
+
+namespace pvsim {
+namespace stats {
+
+Group::Group(Group *parent, const std::string &name)
+    : parent_(parent), name_(name)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+std::string
+Group::path() const
+{
+    if (!parent_)
+        return name_;
+    std::string p = parent_->path();
+    if (p.empty())
+        return name_;
+    return p + "." + name_;
+}
+
+void
+Group::dumpStats(std::ostream &os) const
+{
+    std::string prefix = path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const Stat *s : stats_)
+        s->dump(os, prefix);
+    for (const Group *g : children_)
+        g->dumpStats(os);
+}
+
+void
+Group::resetStats()
+{
+    for (Stat *s : stats_)
+        s->reset();
+    for (Group *g : children_)
+        g->resetStats();
+}
+
+} // namespace stats
+} // namespace pvsim

@@ -1,0 +1,242 @@
+#include "trace/synthetic_gen.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace pvsim {
+
+namespace {
+
+/** Deterministic 64-bit mix for derived per-key randomness. */
+uint64_t
+mix(uint64_t a, uint64_t b)
+{
+    uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Deterministic pattern with roughly `density` of 32 bits set, always
+ * including the trigger offset. Derived purely from (seed, salt) so
+ * the same key always regenerates the same canonical pattern.
+ */
+uint32_t
+derivePattern(uint64_t seed, uint64_t salt, double density,
+              unsigned trigger_offset)
+{
+    uint32_t pattern = 0;
+    uint64_t h = mix(seed, salt);
+    // Threshold per bit; refresh entropy every 8 bits.
+    const uint32_t threshold = uint32_t(density * 255.0);
+    for (unsigned bit = 0; bit < 32; ++bit) {
+        if ((bit & 7) == 0)
+            h = mix(h, bit + 1);
+        uint8_t byte = uint8_t(h >> ((bit & 7) * 8));
+        if (byte < threshold)
+            pattern |= 1u << bit;
+    }
+    pattern |= 1u << trigger_offset;
+    return pattern;
+}
+
+} // anonymous namespace
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
+                                     int core_id)
+    : params_(params), coreId_(core_id),
+      rng_(mix(params.seed, uint64_t(core_id) + 0x5151)),
+      numKeys_(params.numTriggerPcs * params.offsetsPerPc)
+{
+    pv_assert(numKeys_ > 0, "workload needs at least one key");
+    pv_assert(params_.dataRegions > 0, "workload needs data regions");
+    keyZipf_ = std::make_unique<ZipfSampler>(numKeys_,
+                                             params_.keyZipfAlpha);
+    regionZipf_ = std::make_unique<ZipfSampler>(
+        params_.dataRegions, params_.regionZipfAlpha);
+    visits_.resize(std::max(1u, params_.concurrency));
+    scans_.resize(std::max(1u, params_.scanStreams));
+    reset();
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_.reseed(mix(params_.seed, uint64_t(coreId_) + 0x5151));
+    for (auto &v : visits_) {
+        v.active = false;
+        v.offsets.clear();
+        v.pos = 0;
+    }
+    for (size_t s = 0; s < scans_.size(); ++s) {
+        // Scan PCs sit at the top of the code window; one key each.
+        scans_[s].pc = codeBase() +
+                       (params_.codeBlocks - 1 - s) * kBlockBytes;
+        scans_[s].region =
+            rng_.below(std::max<uint64_t>(1, params_.dataRegions));
+        scans_[s].nextOffset = 0;
+    }
+    nextScan_ = 0;
+}
+
+Addr
+SyntheticWorkload::keyPc(unsigned key) const
+{
+    // Spread key routines over the code footprint deterministically;
+    // instruction PCs are 4-byte aligned.
+    uint64_t routine = mix(params_.seed, key) % params_.codeBlocks;
+    uint64_t slot = (uint64_t(key) * 7) % 16;
+    return codeBase() + routine * kBlockBytes + slot * 4;
+}
+
+unsigned
+SyntheticWorkload::triggerOffset(unsigned key) const
+{
+    return unsigned(mix(params_.seed ^ 0xffee, key) %
+                    kRegionBlocks);
+}
+
+uint32_t
+SyntheticWorkload::canonicalPattern(unsigned key) const
+{
+    return derivePattern(params_.seed, uint64_t(key) * 2 + 1,
+                         params_.patternDensity, triggerOffset(key));
+}
+
+uint32_t
+SyntheticWorkload::generationPattern(unsigned key)
+{
+    uint32_t pattern;
+    if (rng_.chance(params_.patternStability)) {
+        pattern = canonicalPattern(key);
+    } else {
+        // Alternate mode of this key: a second stable pattern, so
+        // instability looks like bimodal behaviour rather than pure
+        // noise (as in pointer-chasing vs. scan phases).
+        pattern = derivePattern(params_.seed, uint64_t(key) * 2 + 2,
+                                params_.patternDensity,
+                                triggerOffset(key));
+    }
+    if (params_.patternNoise > 0.0) {
+        for (unsigned bit = 0; bit < 32; ++bit) {
+            if (bit != triggerOffset(key) &&
+                rng_.chance(params_.patternNoise))
+                pattern ^= 1u << bit;
+        }
+    }
+    return pattern | (1u << triggerOffset(key));
+}
+
+void
+SyntheticWorkload::startVisit(Visit &v)
+{
+    v.key = unsigned(keyZipf_->sample(rng_));
+    uint64_t region = regionZipf_->sample(rng_);
+    if (rng_.chance(params_.sharedFraction)) {
+        v.regionBase = kSharedBase + (region % params_.dataRegions) *
+                                         kRegionBytes;
+    } else {
+        v.regionBase = privateBase() + region * kRegionBytes;
+    }
+
+    uint32_t pattern = generationPattern(v.key);
+    unsigned trig = triggerOffset(v.key);
+
+    // Visit order: trigger block first, then the remaining pattern
+    // blocks outward from the trigger (spatially ordered, matching
+    // how structured code walks a record or page).
+    v.offsets.clear();
+    v.offsets.push_back(uint8_t(trig));
+    for (unsigned d = 1; d < kRegionBlocks; ++d) {
+        unsigned up = (trig + d) % kRegionBlocks;
+        if (pattern & (1u << up))
+            v.offsets.push_back(uint8_t(up));
+    }
+    v.pos = 0;
+    v.active = true;
+}
+
+void
+SyntheticWorkload::fillCommon(TraceRecord &rec, Addr pc, Addr addr)
+{
+    rec.pc = pc;
+    rec.addr = addr;
+    rec.gap = uint16_t(
+        std::min<uint64_t>(rng_.geometric(params_.gapMean), 512));
+    rec.op = rng_.chance(params_.storeFraction) ? MemOp::Store
+                                                : MemOp::Load;
+}
+
+void
+SyntheticWorkload::emitFrom(Visit &v, TraceRecord &rec)
+{
+    if (!v.active || v.pos >= v.offsets.size())
+        startVisit(v);
+    Addr addr = v.regionBase + Addr(v.offsets[v.pos]) * kBlockBytes;
+    fillCommon(rec, keyPc(v.key), addr);
+    ++v.pos;
+    if (v.pos >= v.offsets.size())
+        v.active = false;
+}
+
+void
+SyntheticWorkload::emitScan(Scan &s, TraceRecord &rec)
+{
+    Addr base = privateBase() + s.region * kRegionBytes;
+    fillCommon(rec, s.pc, base + Addr(s.nextOffset) * kBlockBytes);
+    // Scans read; override the generic store draw most of the time.
+    if (rng_.uniform() < 0.95)
+        rec.op = MemOp::Load;
+    ++s.nextOffset;
+    if (s.nextOffset >= kRegionBlocks) {
+        s.nextOffset = 0;
+        ++s.region;
+        if (s.region >= params_.dataRegions)
+            s.region = 0;
+    }
+}
+
+void
+SyntheticWorkload::emitIrregular(TraceRecord &rec)
+{
+    // Isolated accesses over a large footprint: no spatial pattern,
+    // one-access generations that die in the SMS filter table.
+    uint64_t block = rng_.below(
+        std::max<uint64_t>(1, params_.irregularBlocks));
+    Addr addr = kIrregularBase +
+                Addr(coreId_) * (params_.irregularBlocks *
+                                 Addr(kBlockBytes)) +
+                block * kBlockBytes;
+    uint64_t pc_slot = rng_.below(256);
+    Addr pc = codeBase() +
+              (params_.codeBlocks / 2 +
+               pc_slot % std::max<uint64_t>(1, params_.codeBlocks / 4)) *
+                  kBlockBytes;
+    fillCommon(rec, pc, addr);
+}
+
+bool
+SyntheticWorkload::next(TraceRecord &rec)
+{
+    double draw = rng_.uniform();
+    if (draw < params_.irregularFraction) {
+        emitIrregular(rec);
+    } else if (draw < params_.irregularFraction +
+                          params_.scanFraction &&
+               !scans_.empty()) {
+        emitScan(scans_[nextScan_], rec);
+        nextScan_ = (nextScan_ + 1) % scans_.size();
+    } else {
+        size_t slot = rng_.below(visits_.size());
+        emitFrom(visits_[slot], rec);
+    }
+    return true;
+}
+
+} // namespace pvsim

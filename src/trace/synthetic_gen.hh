@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synthetic commercial-workload generator. Produces an endless,
+ * deterministic stream of TraceRecords exhibiting the spatial
+ * correlation structure SMS exploits: region generations triggered by
+ * recurring (PC, offset) keys whose spatial patterns repeat with a
+ * configurable stability, interleaved with sequential scans and
+ * pattern-free irregular traffic.
+ */
+
+#ifndef PVSIM_TRACE_SYNTHETIC_GEN_HH
+#define PVSIM_TRACE_SYNTHETIC_GEN_HH
+
+#include <memory>
+#include <vector>
+
+#include "trace/trace_record.hh"
+#include "trace/workload.hh"
+#include "util/random.hh"
+
+namespace pvsim {
+
+/** Endless deterministic generator for one core's reference stream. */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    /**
+     * @param params  Workload description.
+     * @param core_id Core running this stream; shifts the private
+     *                address windows and decorrelates the RNG.
+     */
+    SyntheticWorkload(const WorkloadParams &params, int core_id);
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+    std::string sourceName() const override { return params_.name; }
+
+    /** Total distinct trigger keys (PCs x offsets). */
+    unsigned numKeys() const { return numKeys_; }
+
+    /** Canonical spatial pattern of a key (tests/analysis). */
+    uint32_t canonicalPattern(unsigned key) const;
+
+    /** Trigger offset (block index within region) of a key. */
+    unsigned triggerOffset(unsigned key) const;
+
+    /** Data-side PC assigned to a key. */
+    Addr keyPc(unsigned key) const;
+
+    const WorkloadParams &params() const { return params_; }
+
+    // Fixed address-window geometry (all below any PV reservation;
+    // see AddrMap). Private windows are per-core.
+    static constexpr Addr kCodeWindow = 0x0800'0000;   // 128 MB
+    static constexpr Addr kPrivateWindow = 0x1000'0000; // 256 MB
+    static constexpr Addr kSharedBase = 0x9000'0000;
+    static constexpr Addr kIrregularBase = 0xa000'0000;
+    static constexpr unsigned kRegionBlocks = 32;
+    static constexpr Addr kRegionBytes = kRegionBlocks * kBlockBytes;
+
+  private:
+    /** One in-flight structured region visit. */
+    struct Visit {
+        bool active = false;
+        unsigned key = 0;
+        Addr regionBase = 0;
+        /** Block offsets remaining to touch, in visit order. */
+        std::vector<uint8_t> offsets;
+        size_t pos = 0;
+    };
+
+    /** One sequential scan stream. */
+    struct Scan {
+        Addr pc = 0;
+        uint64_t region = 0;
+        unsigned nextOffset = 0;
+    };
+
+    void startVisit(Visit &v);
+    void emitFrom(Visit &v, TraceRecord &rec);
+    void emitScan(Scan &s, TraceRecord &rec);
+    void emitIrregular(TraceRecord &rec);
+    void fillCommon(TraceRecord &rec, Addr pc, Addr addr);
+
+    /** Actual (possibly perturbed) pattern for one generation. */
+    uint32_t generationPattern(unsigned key);
+
+    Addr codeBase() const { return kCodeWindow * Addr(coreId_ + 1); }
+    Addr privateBase() const
+    {
+        return kPrivateWindow * Addr(coreId_ + 2);
+    }
+
+    WorkloadParams params_;
+    int coreId_;
+    Rng rng_;
+    unsigned numKeys_;
+    std::unique_ptr<ZipfSampler> keyZipf_;
+    std::unique_ptr<ZipfSampler> regionZipf_;
+    std::vector<Visit> visits_;
+    std::vector<Scan> scans_;
+    size_t nextScan_ = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_TRACE_SYNTHETIC_GEN_HH

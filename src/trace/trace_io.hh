@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Binary trace file format: a fixed header followed by fixed-width
+ * little-endian records. Lets users capture synthetic workloads (or
+ * convert external traces) and replay them byte-identically.
+ *
+ * Layout:
+ *   offset 0:  magic   u32  'PVTR' (0x52545650)
+ *   offset 4:  version u32  (currently 1)
+ *   offset 8:  count   u64  number of records
+ *   offset 16: records, each 20 bytes:
+ *       pc u64 | addr u64 | gap u16 | op u8 | pad u8
+ */
+
+#ifndef PVSIM_TRACE_TRACE_IO_HH
+#define PVSIM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_record.hh"
+
+namespace pvsim {
+
+/** Magic number identifying a pvsim trace file. */
+constexpr uint32_t kTraceMagic = 0x52545650; // "PVTR"
+constexpr uint32_t kTraceVersion = 1;
+constexpr size_t kTraceRecordBytes = 20;
+
+/** Sequential trace writer. Fixes up the record count on close. */
+class TraceFileWriter
+{
+  public:
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void append(const TraceRecord &rec);
+    uint64_t count() const { return count_; }
+
+    /** Flush, write the final header, and close. */
+    void close();
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+    uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Sequential trace reader implementing TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+    std::string sourceName() const override { return path_; }
+
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+    uint64_t count_ = 0;
+    uint64_t read_ = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace records: the unit of work consumed by a trace-driven core.
+ * Each record is one memory instruction plus the count of non-memory
+ * instructions executed since the previous record (the core
+ * synthesizes the instruction-fetch stream from pc and gap).
+ */
+
+#ifndef PVSIM_TRACE_TRACE_RECORD_HH
+#define PVSIM_TRACE_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pvsim {
+
+/** Kind of memory operation. */
+enum class MemOp : uint8_t { Load = 0, Store = 1 };
+
+/** One memory instruction in the trace. */
+struct TraceRecord {
+    /** PC of the memory instruction. */
+    Addr pc = 0;
+    /** Effective (physical) data address. */
+    Addr addr = 0;
+    /** Non-memory instructions since the previous record. */
+    uint16_t gap = 0;
+    MemOp op = MemOp::Load;
+
+    bool isLoad() const { return op == MemOp::Load; }
+    bool isStore() const { return op == MemOp::Store; }
+};
+
+/** Source of trace records (synthetic generator or file reader). */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @return false at end-of-trace (synthetic sources are endless).
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Restart from the beginning (same seed / file position). */
+    virtual void reset() = 0;
+
+    virtual std::string sourceName() const = 0;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_TRACE_TRACE_RECORD_HH

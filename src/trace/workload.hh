@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Workload parameterization. The paper evaluates on eight commercial
+ * workloads (Table 2) that are not publicly redistributable; this
+ * reproduction substitutes synthetic generators whose parameters
+ * expose exactly the axes that drive SMS and PV behaviour:
+ *
+ *  - trigger-key diversity (distinct PC+offset combinations) and its
+ *    popularity skew -> PHT capacity sensitivity (Figures 4/5);
+ *  - spatial-pattern density and stability -> coverage ceiling and
+ *    overprediction rate;
+ *  - scan vs. transactional vs. irregular access mix -> which
+ *    fraction of misses is coverable at all;
+ *  - data/code footprints -> L1/L2 pressure and off-chip traffic
+ *    (Figures 7/8/10);
+ *  - store fraction and cross-core sharing -> writebacks and
+ *    invalidations.
+ *
+ * Presets named after the paper's workloads are tuned so each one's
+ * coverage-vs-table-size curve matches the paper's qualitative
+ * behaviour (see DESIGN.md Section 2 and EXPERIMENTS.md).
+ */
+
+#ifndef PVSIM_TRACE_WORKLOAD_HH
+#define PVSIM_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pvsim {
+
+/** Tunable description of one synthetic workload. */
+struct WorkloadParams {
+    std::string name = "custom";
+    uint64_t seed = 1;
+
+    // ---- Footprints -------------------------------------------------
+    /** Distinct spatial regions (32 blocks = 2 KB each) per core. */
+    uint64_t dataRegions = 16384;
+    /** Code footprint in 64-byte blocks per core. */
+    uint64_t codeBlocks = 4096;
+    /** Irregular (pattern-free) footprint in 64-byte blocks. */
+    uint64_t irregularBlocks = 1 << 18;
+
+    // ---- Trigger keys (PHT pressure) --------------------------------
+    /** Distinct PCs that trigger spatial generations. */
+    unsigned numTriggerPcs = 512;
+    /** Distinct trigger offsets per PC (keys = PCs * offsets). */
+    unsigned offsetsPerPc = 4;
+    /** Zipf skew of key popularity (0 = uniform = worst case). */
+    double keyZipfAlpha = 0.6;
+    /** Zipf skew of region popularity. */
+    double regionZipfAlpha = 0.4;
+
+    // ---- Pattern behaviour ------------------------------------------
+    /** Probability a generation follows its key's canonical pattern. */
+    double patternStability = 0.85;
+    /** Per-bit flip probability applied to each generation. */
+    double patternNoise = 0.04;
+    /** Mean fraction of the 32 region blocks touched per generation. */
+    double patternDensity = 0.30;
+
+    // ---- Access mix --------------------------------------------------
+    /** Fraction of references from sequential scans (dense, few keys). */
+    double scanFraction = 0.0;
+    /** Number of concurrent scan streams (when scanFraction > 0). */
+    unsigned scanStreams = 4;
+    /** Fraction of references that are isolated irregular accesses. */
+    double irregularFraction = 0.25;
+    /** Fraction of references that are stores. */
+    double storeFraction = 0.20;
+    /** Probability a structured region comes from the shared pool. */
+    double sharedFraction = 0.05;
+
+    // ---- Rate ---------------------------------------------------------
+    /** Mean non-memory instructions between memory references. */
+    double gapMean = 5.0;
+    /** Concurrent in-flight structured region visits. */
+    unsigned concurrency = 8;
+};
+
+/**
+ * Named preset matching one of the paper's Table 2 workloads
+ * ("apache", "zeus", "db2", "oracle", "qry1", "qry2", "qry16",
+ * "qry17"), plus "uniform" (a featureless random-access control used
+ * by tests).
+ */
+WorkloadParams workloadPreset(const std::string &name);
+
+/** The eight paper workloads, in the paper's presentation order. */
+std::vector<std::string> paperWorkloads();
+
+/** One-line description of a preset (Table 2 reproduction). */
+std::string workloadDescription(const std::string &name);
+
+} // namespace pvsim
+
+#endif // PVSIM_TRACE_WORKLOAD_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal command-line argument parser used by the bench harnesses
+ * and examples. Supports --key=value, --key value and boolean flags
+ * (--flag / --no-flag), with typed accessors and defaults.
+ */
+
+#ifndef PVSIM_UTIL_ARGS_HH
+#define PVSIM_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pvsim {
+
+/** Parsed view of argv with typed, defaulted accessors. */
+class Args
+{
+  public:
+    Args() = default;
+    Args(int argc, char **argv);
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or def when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+
+    /** Integer value of --name, or def when absent. */
+    int64_t getInt(const std::string &name, int64_t def = 0) const;
+
+    /** Unsigned value of --name, or def when absent. */
+    uint64_t getUint(const std::string &name, uint64_t def = 0) const;
+
+    /** Floating-point value of --name, or def when absent. */
+    double getDouble(const std::string &name, double def = 0.0) const;
+
+    /**
+     * Boolean flag: --name or --name=true|1|yes sets true,
+     * --no-name or --name=false|0|no sets false.
+     */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Comma-separated list value of --name. */
+    std::vector<std::string>
+    getList(const std::string &name,
+            const std::vector<std::string> &def = {}) const;
+
+    /** Positional (non-option) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** The program name (argv[0]), empty if default-constructed. */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_UTIL_ARGS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bitfield extraction and insertion helpers (gem5-style) plus a
+ * bit-granular packer/unpacker used to lay predictor entries into
+ * cache-block-sized lines (paper Figure 3a).
+ */
+
+#ifndef PVSIM_UTIL_BITFIELD_HH
+#define PVSIM_UTIL_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace pvsim {
+
+/** Generate a mask of nbits ones in the low-order positions. */
+constexpr uint64_t
+mask(int nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) from val. */
+constexpr uint64_t
+bits(uint64_t val, int last, int first)
+{
+    assert(last >= first);
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract the single bit at position bit. */
+constexpr uint64_t
+bits(uint64_t val, int bit)
+{
+    return (val >> bit) & 1ULL;
+}
+
+/** Return val with bits [first, last] replaced by the low bits of in. */
+constexpr uint64_t
+insertBits(uint64_t val, int last, int first, uint64_t in)
+{
+    assert(last >= first);
+    const uint64_t m = mask(last - first + 1);
+    return (val & ~(m << first)) | ((in & m) << first);
+}
+
+/** Population count convenience wrapper. */
+constexpr int
+popCount(uint64_t val)
+{
+    return __builtin_popcountll(val);
+}
+
+/**
+ * Reads and writes arbitrary-width bit fields at arbitrary bit
+ * offsets within a byte buffer. Bit order is little-endian within the
+ * buffer: bit i of the field lands at overall bit (offset + i), which
+ * is bit ((offset + i) % 8) of byte ((offset + i) / 8).
+ *
+ * This is the codec primitive for packing 43-bit PHT entries into a
+ * 64-byte PVTable line.
+ */
+class BitSpan
+{
+  public:
+    BitSpan(uint8_t *data, size_t size_bytes)
+        : data_(data), sizeBits_(size_bytes * 8)
+    {}
+
+    /** Number of addressable bits in the span. */
+    size_t sizeBits() const { return sizeBits_; }
+
+    /**
+     * Read an nbits-wide field starting at bit offset. Byte-at-a-
+     * time assembly (not per-bit) keeps the packed-set codec cheap.
+     * @pre nbits <= 57 and the field lies within the span (57 so the
+     *      value plus intra-byte shift fits one 64-bit read window).
+     */
+    uint64_t
+    read(size_t offset, int nbits) const
+    {
+        assert(nbits > 0 && nbits <= 57);
+        assert(offset + size_t(nbits) <= sizeBits_);
+        size_t byte = offset >> 3;
+        unsigned shift = unsigned(offset & 7);
+        unsigned need_bits = shift + unsigned(nbits);
+        uint64_t window = 0;
+        unsigned got = 0;
+        for (; got < need_bits; got += 8)
+            window |= uint64_t(data_[byte + (got >> 3)]) << got;
+        return (window >> shift) & mask(nbits);
+    }
+
+    /**
+     * Write the low nbits of val into the field starting at bit
+     * offset.
+     * @pre nbits <= 57 (see read()).
+     */
+    void
+    write(size_t offset, int nbits, uint64_t val)
+    {
+        assert(nbits > 0 && nbits <= 57);
+        assert(offset + size_t(nbits) <= sizeBits_);
+        size_t byte = offset >> 3;
+        unsigned shift = unsigned(offset & 7);
+        unsigned need_bits = shift + unsigned(nbits);
+        unsigned need_bytes = (need_bits + 7) >> 3;
+        uint64_t window = 0;
+        for (unsigned i = 0; i < need_bytes; ++i)
+            window |= uint64_t(data_[byte + i]) << (8 * i);
+        uint64_t m = mask(nbits) << shift;
+        window = (window & ~m) | ((val << shift) & m);
+        for (unsigned i = 0; i < need_bytes; ++i)
+            data_[byte + i] = uint8_t(window >> (8 * i));
+    }
+
+  private:
+    uint8_t *data_;
+    size_t sizeBits_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_UTIL_BITFIELD_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Integer math helpers used throughout the simulator: power-of-two
+ * tests, integer logarithms, alignment and ceiling division.
+ */
+
+#ifndef PVSIM_UTIL_INTMATH_HH
+#define PVSIM_UTIL_INTMATH_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace pvsim {
+
+/** Return true if n is a power of two. Zero is not a power of two. */
+constexpr bool
+isPowerOf2(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Floor of the base-2 logarithm.
+ * @pre n > 0.
+ */
+constexpr int
+floorLog2(uint64_t n)
+{
+    assert(n > 0);
+    int p = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++p;
+    }
+    return p;
+}
+
+/** Ceiling of the base-2 logarithm. @pre n > 0. */
+constexpr int
+ceilLog2(uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** Ceiling division: divideCeil(7, 2) == 4. @pre b > 0. */
+constexpr uint64_t
+divideCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Align addr down to a multiple of align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t addr, uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align addr up to a multiple of align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t addr, uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace pvsim
+
+#endif // PVSIM_UTIL_INTMATH_HH

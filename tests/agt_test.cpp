@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Active Generation Table: trigger detection, filter
+ * to accumulation promotion, generation endings (eviction of an
+ * accessed block, capacity pressure), flushing, and the filtering of
+ * single-access regions out of the PHT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/agt.hh"
+
+using namespace pvsim;
+
+namespace {
+
+struct AgtTest : public ::testing::Test {
+    RegionGeometry geom{32};
+    AgtParams params;
+    std::vector<std::pair<PhtKey, SpatialPattern>> stored;
+    std::unique_ptr<ActiveGenerationTable> agt;
+
+    void
+    build(unsigned filter = 32, unsigned accum = 64)
+    {
+        params.filterEntries = filter;
+        params.accumEntries = accum;
+        agt = std::make_unique<ActiveGenerationTable>(
+            params, geom,
+            [this](PhtKey k, SpatialPattern p) {
+                stored.emplace_back(k, p);
+            });
+    }
+
+    /** Address of block `off` in region `r`. */
+    Addr
+    blk(unsigned r, unsigned off) const
+    {
+        return Addr(r) * geom.regionBytes() + Addr(off) * kBlockBytes;
+    }
+};
+
+} // namespace
+
+TEST_F(AgtTest, FirstAccessTriggers)
+{
+    build();
+    EXPECT_TRUE(agt->recordAccess(0x1000, blk(1, 3)));
+    EXPECT_FALSE(agt->recordAccess(0x1004, blk(1, 5)));
+    EXPECT_FALSE(agt->recordAccess(0x1008, blk(1, 7)));
+    EXPECT_TRUE(agt->recordAccess(0x1000, blk(2, 0)))
+        << "a different region triggers independently";
+}
+
+TEST_F(AgtTest, RepeatTriggerBlockAccessDoesNotPromote)
+{
+    build();
+    agt->recordAccess(0x1000, blk(1, 3));
+    agt->recordAccess(0x1000, blk(1, 3)); // same block again
+    EXPECT_EQ(agt->activeFilterEntries(), 1u);
+    EXPECT_EQ(agt->activeAccumEntries(), 0u);
+}
+
+TEST_F(AgtTest, SecondDistinctBlockPromotesToAccumulation)
+{
+    build();
+    agt->recordAccess(0x1000, blk(1, 3));
+    agt->recordAccess(0x1004, blk(1, 9));
+    EXPECT_EQ(agt->activeFilterEntries(), 0u);
+    EXPECT_EQ(agt->activeAccumEntries(), 1u);
+    EXPECT_EQ(agt->patternFor(blk(1, 0)),
+              (SpatialPattern(1) << 3) | (SpatialPattern(1) << 9));
+}
+
+TEST_F(AgtTest, EvictionOfAccessedBlockEndsGeneration)
+{
+    build();
+    agt->recordAccess(0x1000, blk(1, 3));
+    agt->recordAccess(0x1004, blk(1, 9));
+    agt->blockRemoved(blk(1, 9));
+    ASSERT_EQ(stored.size(), 1u);
+    // Key is built from the trigger PC and trigger offset 3.
+    EXPECT_EQ(stored[0].first, makePhtKey(0x1000, 3));
+    EXPECT_EQ(stored[0].second,
+              (SpatialPattern(1) << 3) | (SpatialPattern(1) << 9));
+    EXPECT_FALSE(agt->isActive(blk(1, 0)));
+}
+
+TEST_F(AgtTest, EvictionOfUnaccessedBlockDoesNotEndGeneration)
+{
+    build();
+    agt->recordAccess(0x1000, blk(1, 3));
+    agt->recordAccess(0x1004, blk(1, 9));
+    agt->blockRemoved(blk(1, 20)); // never touched in generation
+    EXPECT_TRUE(stored.empty());
+    EXPECT_TRUE(agt->isActive(blk(1, 0)));
+}
+
+TEST_F(AgtTest, SingleAccessGenerationsAreFilteredOut)
+{
+    build();
+    agt->recordAccess(0x1000, blk(1, 3));
+    agt->blockRemoved(blk(1, 3));
+    EXPECT_TRUE(stored.empty())
+        << "one-access generations never reach the PHT";
+    EXPECT_EQ(agt->generationsFiltered, 1u);
+}
+
+TEST_F(AgtTest, AccumulationCapacityEndsLruGeneration)
+{
+    build(32, 2); // tiny accumulation table
+    // Three concurrent two-block generations.
+    for (unsigned r = 1; r <= 3; ++r) {
+        agt->recordAccess(0x1000 + r * 4, blk(r, 0));
+        agt->recordAccess(0x2000, blk(r, 1));
+    }
+    EXPECT_EQ(agt->activeAccumEntries(), 2u);
+    ASSERT_EQ(stored.size(), 1u) << "LRU generation pushed to PHT";
+    EXPECT_EQ(agt->accumEvictions, 1u);
+    EXPECT_EQ(stored[0].first, makePhtKey(0x1004, 0));
+}
+
+TEST_F(AgtTest, FilterCapacityEvictsSilently)
+{
+    build(2, 64);
+    agt->recordAccess(0x1, blk(1, 0));
+    agt->recordAccess(0x2, blk(2, 0));
+    agt->recordAccess(0x3, blk(3, 0)); // evicts region 1's filter
+    EXPECT_TRUE(stored.empty());
+    EXPECT_EQ(agt->filterEvictions, 1u);
+    // Region 1 is inactive again: a new access re-triggers.
+    EXPECT_TRUE(agt->recordAccess(0x1, blk(1, 0)));
+}
+
+TEST_F(AgtTest, FlushTransfersAccumulatedPatterns)
+{
+    build();
+    agt->recordAccess(0xA, blk(1, 0));
+    agt->recordAccess(0xB, blk(1, 4));
+    agt->recordAccess(0xC, blk(2, 0)); // still in filter
+    agt->flush();
+    ASSERT_EQ(stored.size(), 1u);
+    EXPECT_EQ(stored[0].second,
+              (SpatialPattern(1) << 0) | (SpatialPattern(1) << 4));
+    EXPECT_EQ(agt->activeAccumEntries(), 0u);
+    EXPECT_EQ(agt->activeFilterEntries(), 0u);
+}
+
+TEST_F(AgtTest, StorageIsUnderOneKilobyte)
+{
+    build(); // paper values: 32 filter + 64 accumulation entries
+    // Paper Section 3.2: "the AGT needs less than one kilobyte".
+    EXPECT_LT(agt->storageBits(), 8u * 1024u);
+}
+
+TEST(RegionGeometryTest, OffsetsAndBases)
+{
+    RegionGeometry g(32);
+    EXPECT_EQ(g.regionBytes(), 2048u);
+    EXPECT_EQ(g.regionBase(0x1234), 0x1000u);
+    EXPECT_EQ(g.blockOffset(0x1000), 0u);
+    EXPECT_EQ(g.blockOffset(0x17ff), 31u);
+    EXPECT_EQ(g.blockAddr(0x1000, 5), 0x1140u);
+    EXPECT_EQ(g.regionTag(0x1000), g.regionTag(0x17ff));
+    EXPECT_NE(g.regionTag(0x1000), g.regionTag(0x1800));
+}
+
+TEST(RegionGeometryTest, SmallerRegionsWork)
+{
+    RegionGeometry g(16); // 1 KB regions
+    EXPECT_EQ(g.regionBytes(), 1024u);
+    EXPECT_EQ(g.blockOffset(0x3c0), 15u);
+    EXPECT_EQ(g.offsetBits(), 4u);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the trace subsystem: file format round trip, synthetic
+ * generator determinism and structure, and workload presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "trace/synthetic_gen.hh"
+#include "trace/trace_io.hh"
+#include "trace/workload.hh"
+#include "util/bitfield.hh"
+
+using namespace pvsim;
+
+// ---------------------------------------------------------------------
+// Trace file IO
+// ---------------------------------------------------------------------
+
+TEST(TraceIo, WriteReadRoundTrip)
+{
+    std::string path = "/tmp/pvsim_trace_test.bin";
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 1000; ++i) {
+        TraceRecord r;
+        r.pc = 0x400000 + Addr(i) * 4;
+        r.addr = 0x10000000 + Addr(i) * 64;
+        r.gap = uint16_t(i % 100);
+        r.op = (i % 3 == 0) ? MemOp::Store : MemOp::Load;
+        recs.push_back(r);
+    }
+    {
+        TraceFileWriter w(path);
+        for (const auto &r : recs)
+            w.append(r);
+        w.close();
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), recs.size());
+    TraceRecord r;
+    for (size_t i = 0; i < recs.size(); ++i) {
+        ASSERT_TRUE(reader.next(r)) << "record " << i;
+        EXPECT_EQ(r.pc, recs[i].pc);
+        EXPECT_EQ(r.addr, recs[i].addr);
+        EXPECT_EQ(r.gap, recs[i].gap);
+        EXPECT_EQ(r.op, recs[i].op);
+    }
+    EXPECT_FALSE(reader.next(r)) << "reader must end";
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ResetRestartsFromTheTop)
+{
+    std::string path = "/tmp/pvsim_trace_reset.bin";
+    {
+        TraceFileWriter w(path);
+        TraceRecord r;
+        r.pc = 0x42;
+        w.append(r);
+        r.pc = 0x43;
+        w.append(r);
+        w.close();
+    }
+    TraceFileReader reader(path);
+    TraceRecord r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.pc, 0x42u);
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.pc, 0x42u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RecordSizeIsStable)
+{
+    // The on-disk format is part of the public contract.
+    EXPECT_EQ(kTraceRecordBytes, 20u);
+    EXPECT_EQ(kTraceMagic, 0x52545650u);
+}
+
+// ---------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------
+
+TEST(SyntheticWorkload, DeterministicPerSeedAndCore)
+{
+    WorkloadParams p = workloadPreset("apache");
+    SyntheticWorkload a(p, 0), b(p, 0), c(p, 1);
+    bool same = true, differs = false;
+    TraceRecord ra, rb, rc;
+    for (int i = 0; i < 5000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        c.next(rc);
+        same = same && ra.pc == rb.pc && ra.addr == rb.addr &&
+               ra.gap == rb.gap && ra.op == rb.op;
+        differs = differs || ra.addr != rc.addr;
+    }
+    EXPECT_TRUE(same) << "same core+seed must replay identically";
+    EXPECT_TRUE(differs) << "different cores must differ";
+}
+
+TEST(SyntheticWorkload, ResetReplaysIdentically)
+{
+    WorkloadParams p = workloadPreset("db2");
+    SyntheticWorkload g(p, 2);
+    std::vector<Addr> first;
+    TraceRecord r;
+    for (int i = 0; i < 2000; ++i) {
+        g.next(r);
+        first.push_back(r.addr);
+    }
+    g.reset();
+    for (int i = 0; i < 2000; ++i) {
+        g.next(r);
+        ASSERT_EQ(r.addr, first[size_t(i)]) << "at " << i;
+    }
+}
+
+TEST(SyntheticWorkload, CanonicalPatternContainsTrigger)
+{
+    WorkloadParams p = workloadPreset("oracle");
+    SyntheticWorkload g(p, 0);
+    for (unsigned key = 0; key < g.numKeys(); key += 97) {
+        uint32_t pat = g.canonicalPattern(key);
+        unsigned trig = g.triggerOffset(key);
+        EXPECT_TRUE(pat & (1u << trig)) << "key " << key;
+        EXPECT_LT(trig, 32u);
+    }
+}
+
+TEST(SyntheticWorkload, StoreFractionRoughlyHonored)
+{
+    WorkloadParams p = workloadPreset("zeus"); // storeFraction 0.30
+    SyntheticWorkload g(p, 0);
+    TraceRecord r;
+    int stores = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        g.next(r);
+        stores += r.isStore();
+    }
+    EXPECT_NEAR(stores / double(n), p.storeFraction, 0.05);
+}
+
+TEST(SyntheticWorkload, AddressesStayBelowPvReservation)
+{
+    // All generated addresses must be application addresses; the PV
+    // range at the top of the 3 GB memory must stay untouched.
+    WorkloadParams p = workloadPreset("qry1");
+    SyntheticWorkload g(p, 3); // highest core id shifts windows up
+    TraceRecord r;
+    Addr max_seen = 0;
+    for (int i = 0; i < 20000; ++i) {
+        g.next(r);
+        max_seen = std::max(max_seen, std::max(r.addr, r.pc));
+    }
+    Addr pv_base = 3ull * 1024 * 1024 * 1024 - 4ull * 64 * 1024;
+    EXPECT_LT(max_seen, pv_base);
+}
+
+TEST(SyntheticWorkload, ScanWorkloadSweepsRegionsSequentially)
+{
+    WorkloadParams p = workloadPreset("qry1");
+    p.scanFraction = 1.0;
+    p.irregularFraction = 0.0;
+    p.scanStreams = 1;
+    SyntheticWorkload g(p, 0);
+    TraceRecord r;
+    g.next(r);
+    Addr prev = r.addr;
+    int forward = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        g.next(r);
+        forward += r.addr > prev;
+        prev = r.addr;
+    }
+    // A single scan stream advances monotonically (except at region
+    // wrap), so nearly all steps move forward.
+    EXPECT_GT(forward, n - 5);
+}
+
+TEST(SyntheticWorkload, IrregularOnlyHasNoRepeatingPatternKeys)
+{
+    WorkloadParams p = workloadPreset("uniform");
+    SyntheticWorkload g(p, 0);
+    TraceRecord r;
+    std::set<Addr> blocks;
+    for (int i = 0; i < 5000; ++i) {
+        g.next(r);
+        blocks.insert(blockAlign(r.addr));
+    }
+    // Uniform traffic over a large footprint: mostly unique blocks.
+    EXPECT_GT(blocks.size(), 4000u);
+}
+
+// ---------------------------------------------------------------------
+// Presets
+// ---------------------------------------------------------------------
+
+TEST(WorkloadPresets, AllPaperWorkloadsExist)
+{
+    auto names = paperWorkloads();
+    ASSERT_EQ(names.size(), 8u);
+    for (const auto &n : names) {
+        WorkloadParams p = workloadPreset(n);
+        EXPECT_EQ(p.name, n);
+        EXPECT_GT(p.dataRegions, 0u);
+        EXPECT_GT(p.numTriggerPcs, 0u);
+        EXPECT_GE(p.patternStability, 0.0);
+        EXPECT_LE(p.patternStability, 1.0);
+        EXPECT_LE(p.irregularFraction + p.scanFraction, 1.0);
+        EXPECT_FALSE(workloadDescription(n).empty());
+    }
+}
+
+TEST(WorkloadPresets, PresetsAreDistinct)
+{
+    // Different workloads must produce different streams.
+    SyntheticWorkload a(workloadPreset("apache"), 0);
+    SyntheticWorkload o(workloadPreset("oracle"), 0);
+    TraceRecord ra, ro;
+    bool differ = false;
+    for (int i = 0; i < 100 && !differ; ++i) {
+        a.next(ra);
+        o.next(ro);
+        differ = ra.addr != ro.addr;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(WorkloadPresets, ScanHeavyPresetIsQry1)
+{
+    EXPECT_GT(workloadPreset("qry1").scanFraction, 0.5);
+    EXPECT_LT(workloadPreset("oracle").scanFraction, 0.1);
+    // Oracle has the flattest, largest key population (the paper's
+    // most capacity-sensitive workload).
+    WorkloadParams oracle = workloadPreset("oracle");
+    WorkloadParams qry1 = workloadPreset("qry1");
+    EXPECT_GT(oracle.numTriggerPcs * oracle.offsetsPerPc,
+              qry1.numTriggerPcs * qry1.offsetsPerPc * 4);
+    EXPECT_LT(oracle.keyZipfAlpha, 0.3);
+}
