@@ -2,200 +2,102 @@
  * @file
  * Generality demo (paper Section 6 future work): virtualize a
  * branch target buffer with the same PV framework used for the SMS
- * PHT. A synthetic branch stream with a large, skewed branch
- * working set shows the virtualized BTB matching a large dedicated
- * table's hit rate with ~1 KB of dedicated storage.
+ * PHT — and run both *concurrently* as tenants of one per-core
+ * PVProxy inside a fully wired System. The cores reconstruct taken
+ * branches from their trace streams and drive BTB lookups/updates
+ * through the shared proxy, while SMS drives the PHT tenant; the
+ * proxy reports per-engine statistics for both.
  *
- * Usage: btb_virtualization [--branches=300000] [--working-set=30000]
+ * Usage: btb_virtualization [--workload=apache] [--refs=300000]
+ *                           [--btb-sets=2048]
  */
 
 #include <iostream>
-#include <unordered_map>
 
-#include "core/virt_btb.hh"
+#include "harness/system.hh"
 #include "harness/table.hh"
-#include "mem/cache.hh"
-#include "mem/dram.hh"
 #include "util/args.hh"
-#include "util/random.hh"
 
 using namespace pvsim;
-
-namespace {
-
-/** A simple dedicated BTB for comparison. */
-class DedicatedBtb
-{
-  public:
-    DedicatedBtb(unsigned sets, unsigned ways)
-        : sets_(sets), ways_(ways), table_(size_t(sets) * ways)
-    {}
-
-    bool
-    lookup(Addr pc, Addr &target)
-    {
-        Entry *e = find(pc);
-        if (!e)
-            return false;
-        e->lastTouch = ++touch_;
-        target = e->target;
-        return true;
-    }
-
-    void
-    update(Addr pc, Addr target)
-    {
-        if (Entry *e = find(pc)) {
-            e->target = target;
-            e->lastTouch = ++touch_;
-            return;
-        }
-        size_t base = (pc >> 2) % sets_ * ways_;
-        Entry *victim = &table_[base];
-        for (unsigned w = 0; w < ways_; ++w) {
-            Entry &e = table_[base + w];
-            if (!e.valid) {
-                victim = &e;
-                break;
-            }
-            if (e.lastTouch < victim->lastTouch)
-                victim = &e;
-        }
-        victim->valid = true;
-        victim->pc = pc;
-        victim->target = target;
-        victim->lastTouch = ++touch_;
-    }
-
-    uint64_t
-    storageBits() const
-    {
-        return uint64_t(sets_) * ways_ * (1 + 62);
-    }
-
-  private:
-    struct Entry {
-        bool valid = false;
-        Addr pc = 0;
-        Addr target = 0;
-        uint64_t lastTouch = 0;
-    };
-
-    Entry *
-    find(Addr pc)
-    {
-        size_t base = (pc >> 2) % sets_ * ways_;
-        for (unsigned w = 0; w < ways_; ++w) {
-            Entry &e = table_[base + w];
-            if (e.valid && e.pc == pc)
-                return &e;
-        }
-        return nullptr;
-    }
-
-    unsigned sets_, ways_;
-    std::vector<Entry> table_;
-    uint64_t touch_ = 0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
-    uint64_t branches = args.getUint("branches", 300'000);
-    uint64_t working_set = args.getUint("working-set", 30'000);
+    std::string workload = args.getString("workload", "apache");
+    uint64_t refs = args.getUint("refs", 300'000);
+    unsigned btb_sets = unsigned(args.getUint("btb-sets", 2048));
 
-    // Build the memory substrate the virtualized BTB lives on.
-    SimContext ctx(SimMode::Functional);
-    AddrMap amap(1ull << 30, 1, 256 * 1024);
-    Dram dram(ctx, DramParams{}, &amap);
-    CacheParams l2p;
-    l2p.name = "l2";
-    l2p.sizeBytes = 2ull << 20;
-    l2p.assoc = 16;
-    l2p.directory = true;
-    Cache l2(ctx, l2p, &amap);
-    l2.setMemSide(&dram);
+    // The paper's machine with SMS-PV prefetching, plus a BTB
+    // tenant on every core's proxy.
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.prefetch = PrefetchMode::SmsVirtualized;
+    cfg.phtGeometry = {1024, 11};
+    VirtEngineConfig btb;
+    btb.kind = VirtEngineKind::Btb;
+    btb.numSets = btb_sets;
+    cfg.virtEngines.push_back(btb);
+    // Room for both tenants' segments: 64 KB PHT + BTB table.
+    cfg.pvBytesPerCore =
+        (1024ull + btb_sets) * kBlockBytes + 64 * 1024;
 
-    VirtBtbParams vbp;
-    vbp.numSets = 2048; // 16K entries in memory
-    vbp.assoc = 8;
-    VirtualizedBtb vbtb(ctx, vbp, amap.pvStart(0));
-    vbtb.proxy().setMemSide(&l2);
+    std::cout << "btb_virtualization: workload '" << workload
+              << "', " << refs << " references per core, BTB "
+              << btb_sets << " sets x 8 ways in memory\n\n";
 
-    DedicatedBtb big(2048, 8); // same geometry, on chip
-    DedicatedBtb small(64, 4); // what the area budget would allow
+    System sys(cfg);
+    sys.runFunctional(refs);
 
-    // Synthetic branch stream: Zipf-popular branches over a working
-    // set far larger than the small BTB.
-    Rng rng(42);
-    ZipfSampler zipf(working_set, 0.5);
-    auto pc_of = [](uint64_t b) {
-        return Addr(0x40000000) + b * 12;
-    };
-    auto target_of = [](uint64_t b) {
-        return Addr(0x48000000) + (b * 52) % 0x400000;
-    };
-
-    uint64_t hits_v = 0, hits_big = 0, hits_small = 0;
-    uint64_t correct_v = 0, correct_big = 0, correct_small = 0;
-    for (uint64_t i = 0; i < branches; ++i) {
-        uint64_t b = zipf.sample(rng);
-        Addr pc = pc_of(b);
-        Addr actual = target_of(b);
-
-        Addr t = 0;
-        vbtb.lookup(pc, [&](bool f, Addr tgt) {
-            if (f) {
-                ++hits_v;
-                t = tgt;
-            }
-        });
-        if (t == actual && t)
-            ++correct_v;
-
-        Addr tb = 0;
-        if (big.lookup(pc, tb))
-            ++hits_big;
-        if (tb == actual)
-            ++correct_big;
-        Addr ts = 0;
-        if (small.lookup(pc, ts))
-            ++hits_small;
-        if (ts == actual)
-            ++correct_small;
-
-        vbtb.update(pc, actual);
-        big.update(pc, actual);
-        small.update(pc, actual);
+    TextTable t("Two tenants, one PVProxy per core (" + workload +
+                ")");
+    t.setColumns({"core", "engine", "segment", "ops", "pvcache hit",
+                  "drops", "writebacks"});
+    for (int c = 0; c < sys.numCores(); ++c) {
+        for (const auto &e : sys.engines(c)) {
+            PvProxy::EngineStats &es = e->engineStats();
+            uint64_t lookups = es.hits.value() + es.misses.value();
+            double hit_pct =
+                lookups ? 100.0 * double(es.hits.value()) /
+                              double(lookups)
+                        : 0.0;
+            t.addRow({"core" + std::to_string(c), e->engineName(),
+                      fmtBytes(double(e->tableBytes())),
+                      std::to_string(es.operations.value()),
+                      fmtPct(hit_pct),
+                      std::to_string(es.drops.value()),
+                      std::to_string(es.writebacks.value())});
+        }
     }
-
-    TextTable t("Virtualized BTB vs dedicated BTBs (" +
-                std::to_string(branches) + " branches, " +
-                std::to_string(working_set) + " distinct)");
-    t.setColumns({"design", "hit rate", "correct target",
-                  "dedicated storage"});
-    auto pct = [&](uint64_t n) {
-        return fmtPct(100.0 * double(n) / double(branches));
-    };
-    t.addRow({"dedicated 16K-entry", pct(hits_big),
-              pct(correct_big), fmtBytes(big.storageBits() / 8.0)});
-    t.addRow({"dedicated 256-entry", pct(hits_small),
-              pct(correct_small),
-              fmtBytes(small.storageBits() / 8.0)});
-    t.addRow({"virtualized 16K-entry (PV)", pct(hits_v),
-              pct(correct_v), fmtBytes(vbtb.storageBits() / 8.0)});
     t.print(std::cout);
 
-    std::cout << "\nPVProxy stats: "
-              << vbtb.proxy().pvCacheHits.value() << " PVCache hits, "
-              << vbtb.proxy().pvCacheMisses.value() << " misses, "
-              << vbtb.proxy().writebacks.value()
-              << " dirty line writebacks\n";
-    std::cout << "The same VirtualizedAssocTable framework serves "
-                 "the PHT and the BTB — the paper's \"general "
-                 "framework\" claim (Sections 5-6).\n";
+    // Branch-prediction quality through the virtualized BTB.
+    uint64_t branches = 0, hits = 0;
+    for (int c = 0; c < sys.numCores(); ++c) {
+        branches += sys.core(c).takenBranches.value();
+        hits += sys.core(c).btbHits.value();
+    }
+    std::cout << "\nTaken branches reconstructed: " << branches
+              << ", targets predicted by the virtualized BTB: "
+              << hits << " ("
+              << fmtPct(branches ? 100.0 * double(hits) /
+                                       double(branches)
+                                 : 0.0)
+              << ")\n";
+    std::cout << "(Predictability tracks the workload: synthetic "
+                 "streams interleave independent access streams at "
+                 "random, so branch-heavy mixes cap the achievable "
+                 "hit rate; try --workload=qry1 for a "
+                 "loop-dominated stream.)\n";
+
+    PvProxy &proxy = *sys.pvProxy(0);
+    std::cout << "\nDedicated storage for core0's proxy (all "
+              << proxy.numEngines() << " tenants): "
+              << fmtBytes(proxy.storageBreakdown().totalBytes())
+              << " vs " << fmtBytes(double(proxy.region().bytesUsed()))
+              << " of PVTables living in the memory hierarchy.\n";
+    std::cout << "The same VirtEngine framework serves the PHT and "
+                 "the BTB through one shared proxy — the paper's "
+                 "\"general framework\" claim (Sections 5-6).\n";
     return 0;
 }

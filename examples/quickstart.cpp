@@ -118,5 +118,25 @@ main(int argc, char **argv)
                                r_pv.coverage.coveredPct(),
                            2)
               << " points of the dedicated design.\n";
+
+    // ---- Multi-tenancy: add a BTB tenant to the same proxy --------
+    SystemConfig multi = pv;
+    VirtEngineConfig btb;
+    btb.kind = VirtEngineKind::Btb;
+    multi.virtEngines.push_back(btb);
+    multi.pvBytesPerCore = 256 * 1024; // PHT + BTB segments
+
+    System msys(multi);
+    msys.runFunctional(refs);
+    std::cout << "\nWith a virtualized BTB sharing each core's "
+                 "PVProxy (engine registry):\n";
+    for (const auto &e : msys.engines(0)) {
+        PvProxy::EngineStats &es = e->engineStats();
+        std::cout << "  core0." << e->engineName() << ": "
+                  << es.operations.value() << " ops, "
+                  << es.drops.value() << " drops, segment "
+                  << fmtBytes(double(e->tableBytes()))
+                  << " in memory\n";
+    }
     return 0;
 }

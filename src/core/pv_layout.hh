@@ -83,6 +83,75 @@ class PvTableLayout
     unsigned numSets_;
 };
 
+/**
+ * Carves one reserved PV physical region into per-table segments:
+ * the multi-tenant extension of the paper's single PVStart register.
+ * Each optimization engine registered with a PvProxy is allocated a
+ * contiguous run of lines; segments never overlap, so distinct
+ * table-ids can never alias each other's sets.
+ */
+class PvRegionLayout
+{
+  public:
+    /**
+     * @param base  First byte of the region (block aligned).
+     * @param bytes Region capacity in bytes.
+     */
+    PvRegionLayout(Addr base, uint64_t bytes)
+        : base_(base), bytes_(bytes)
+    {
+        pv_assert((base_ % kBlockBytes) == 0,
+                  "PV region base must be block aligned");
+        pv_assert(bytes_ >= kBlockBytes, "PV region too small");
+    }
+
+    Addr base() const { return base_; }
+    uint64_t bytes() const { return bytes_; }
+    uint64_t bytesUsed() const { return linesUsed_ * kBlockBytes; }
+    uint64_t bytesFree() const { return bytes_ - bytesUsed(); }
+    unsigned linesUsed() const { return linesUsed_; }
+
+    /** Total lines the region can hold. */
+    unsigned capacityLines() const
+    {
+        return unsigned(bytes_ / kBlockBytes);
+    }
+
+    /** Allocate the next num_sets-line segment as a table layout. */
+    PvTableLayout
+    allocate(unsigned num_sets)
+    {
+        pv_assert(uint64_t(linesUsed_) + num_sets <= capacityLines(),
+                  "PV region overcommitted: %u + %u sets exceed %u "
+                  "lines",
+                  linesUsed_, num_sets, capacityLines());
+        PvTableLayout seg(base_ + Addr(linesUsed_) * kBlockBytes,
+                          num_sets);
+        linesUsed_ += num_sets;
+        return seg;
+    }
+
+    /** True if addr falls inside the region (used or not). */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base_ && addr < base_ + bytes_;
+    }
+
+    /** Line index of an address within the region. */
+    unsigned
+    lineOf(Addr addr) const
+    {
+        pv_assert(contains(addr), "address outside PV region");
+        return unsigned((addr - base_) >> kBlockShift);
+    }
+
+  private:
+    Addr base_;
+    uint64_t bytes_;
+    unsigned linesUsed_ = 0;
+};
+
 } // namespace pvsim
 
 #endif // PVSIM_CORE_PV_LAYOUT_HH

@@ -7,11 +7,26 @@
 
 namespace pvsim {
 
+PvProxy::EngineStats::EngineStats(stats::Group *parent,
+                                  const std::string &name)
+    : stats::Group(parent, name),
+      operations(this, "operations",
+                 "store/retrieve operations from this engine"),
+      hits(this, "hits", "operations hitting the PVCache"),
+      misses(this, "misses", "operations missing the PVCache"),
+      drops(this, "drops",
+            "operations dropped and reported as predictor miss"),
+      fills(this, "fills", "sets fetched for this engine"),
+      writebacks(this, "writebacks",
+                 "dirty lines of this engine written to the L2")
+{
+}
+
 PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
-                 const PvTableLayout &layout)
+                 Addr region_start, uint64_t region_bytes)
     : SimObject(ctx, nullptr, params.name),
       operations(this, "operations",
-                 "store/retrieve operations from the engine"),
+                 "store/retrieve operations from all engines"),
       pvCacheHits(this, "pvcache_hits", "operations hitting the PVCache"),
       pvCacheMisses(this, "pvcache_misses",
                     "operations missing the PVCache"),
@@ -20,23 +35,49 @@ PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
                    "operations joining an in-flight fetch"),
       droppedOps(this, "dropped_ops",
                  "operations dropped and reported as predictor miss"),
+      fairnessDrops(this, "fairness_drops",
+                    "operations dropped by the fair-share policy"),
       fills(this, "fills", "sets installed in the PVCache"),
       writebacks(this, "writebacks", "dirty lines written to the L2"),
       cleanEvicts(this, "clean_evicts",
                   "clean lines discarded on eviction"),
       evictOverflows(this, "evict_overflows",
                      "evictions exceeding the evict buffer"),
-      params_(params), layout_(layout)
+      params_(params), region_(region_start, region_bytes)
 {
     pv_assert(params_.pvCacheEntries > 0, "PVCache needs entries");
     entries_.resize(params_.pvCacheEntries);
 }
 
+PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
+                 const PvTableLayout &layout)
+    : PvProxy(ctx, params, layout.pvStart(), layout.tableBytes())
+{
+    registerEngine({"table0", layout.numSets(),
+                    params.usedBitsPerLine});
+}
+
+unsigned
+PvProxy::registerEngine(const PvEngineInfo &info)
+{
+    pv_assert(info.numSets > 0, "engine needs at least one set");
+    for (const auto &e : engines_) {
+        pv_assert(e.info.name != info.name,
+                  "duplicate tenant name '%s' on proxy %s",
+                  info.name.c_str(), name().c_str());
+    }
+    unsigned table = numEngines();
+    Engine e{info, region_.allocate(info.numSets),
+             std::make_unique<EngineStats>(this, info.name)};
+    engines_.push_back(std::move(e));
+    return table;
+}
+
 PvProxy::CacheEntry *
-PvProxy::findEntry(unsigned set)
+PvProxy::findEntry(unsigned line)
 {
     for (auto &e : entries_) {
-        if (e.valid && e.set == set)
+        if (e.valid && e.line == line)
             return &e;
     }
     return nullptr;
@@ -52,13 +93,13 @@ PvProxy::evictEntry(CacheEntry &e)
         // like any other data (paper Section 2.2).
         if (sendQueue_.size() >= params_.evictBufferEntries)
             ++evictOverflows;
-        auto *wb = new Packet(MemCmd::Writeback,
-                              layout_.setAddress(e.set),
+        auto *wb = new Packet(MemCmd::Writeback, lineAddress(e.line),
                               kInvalidCore);
         wb->isPv = true;
         wb->coherent = false;
         wb->setData(e.bytes.data());
         ++writebacks;
+        ++engineStats(e.table).writebacks;
         sendDown(wb);
     } else {
         ++cleanEvicts;
@@ -68,7 +109,7 @@ PvProxy::evictEntry(CacheEntry &e)
 }
 
 PvProxy::CacheEntry &
-PvProxy::allocateEntry(unsigned set)
+PvProxy::allocateEntry(unsigned line, unsigned table)
 {
     CacheEntry *victim = nullptr;
     for (auto &e : entries_) {
@@ -86,7 +127,8 @@ PvProxy::allocateEntry(unsigned set)
         evictEntry(*victim);
     }
     victim->valid = true;
-    victim->set = set;
+    victim->line = line;
+    victim->table = table;
     victim->dirty = false;
     victim->lastTouch = ++touchCounter_;
     victim->bytes.fill(0);
@@ -103,9 +145,12 @@ PvProxy::applyOp(CacheEntry &e, const SetOp &op)
 }
 
 void
-PvProxy::dropOp(const SetOp &op)
+PvProxy::dropOp(unsigned table, const SetOp &op, bool fairness)
 {
     ++droppedOps;
+    ++engineStats(table).drops;
+    if (fairness)
+        ++fairnessDrops;
     PvLineView view{nullptr, nullptr, nullptr};
     op(view);
 }
@@ -119,48 +164,94 @@ PvProxy::pendingOpCount() const
     return n;
 }
 
-void
-PvProxy::access(unsigned set, SetOp op)
+unsigned
+PvProxy::pendingOpCount(unsigned table) const
 {
-    ++operations;
-    pv_assert(set < layout_.numSets(), "set %u out of range", set);
+    unsigned n = 0;
+    for (const auto &f : inFlight_) {
+        if (f.table == table)
+            n += unsigned(f.pendingOps.size());
+    }
+    return n;
+}
 
-    if (CacheEntry *e = findEntry(set)) {
+unsigned
+PvProxy::inFlightCount(unsigned table) const
+{
+    unsigned n = 0;
+    for (const auto &f : inFlight_) {
+        if (f.table == table)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+PvProxy::fairShare(unsigned capacity) const
+{
+    // Static reservation: one slot per other tenant, but never more
+    // than half the buffer — a lone busy engine must keep a usable
+    // share even on a proxy with many registered (idle) tenants.
+    unsigned others = numEngines() > 0 ? numEngines() - 1 : 0;
+    unsigned reserve = std::min(others, capacity / 2);
+    return capacity - reserve;
+}
+
+void
+PvProxy::access(unsigned table, unsigned set, SetOp op)
+{
+    pv_assert(table < numEngines(), "table-id %u not registered",
+              table);
+    Engine &eng = engines_[table];
+    pv_assert(set < eng.layout.numSets(), "set %u out of range for %s",
+              set, eng.info.name.c_str());
+    ++operations;
+    ++eng.stats->operations;
+
+    unsigned line = region_.lineOf(eng.layout.setAddress(set));
+    if (CacheEntry *e = findEntry(line)) {
         ++pvCacheHits;
+        ++eng.stats->hits;
         applyOp(*e, op);
         return;
     }
     ++pvCacheMisses;
+    ++eng.stats->misses;
 
     if (!isTiming()) {
         // Functional mode: fetch synchronously through the
         // hierarchy, install, and run the operation.
         pv_assert(memSide_ != nullptr, "PVProxy has no memory side");
         ++memRequests;
-        Packet pkt(MemCmd::ReadReq, layout_.setAddress(set),
-                   kInvalidCore);
+        Packet pkt(MemCmd::ReadReq, lineAddress(line), kInvalidCore);
         pkt.isPv = true;
         pkt.coherent = false;
         memSide_->functionalAccess(pkt);
-        CacheEntry &e = allocateEntry(set);
+        CacheEntry &e = allocateEntry(line, table);
         if (pkt.hasData())
             e.bytes = *pkt.data;
         ++fills;
+        ++eng.stats->fills;
         applyOp(e, op);
         return;
     }
 
-    fetchSet(set, std::move(op));
+    fetchLine(line, table, std::move(op));
 }
 
 void
-PvProxy::fetchSet(unsigned set, SetOp op)
+PvProxy::fetchLine(unsigned line, unsigned table, SetOp op)
 {
-    // Join an in-flight fetch for the same set when possible.
+    // Join an in-flight fetch for the same line when possible.
     for (auto &f : inFlight_) {
-        if (f.set == set) {
+        if (f.line == line) {
             if (pendingOpCount() >= params_.patternBufferEntries) {
-                dropOp(op);
+                dropOp(table, op, false);
+                return;
+            }
+            if (pendingOpCount(table) >=
+                fairShare(params_.patternBufferEntries)) {
+                dropOp(table, op, true);
                 return;
             }
             ++coalescedOps;
@@ -173,15 +264,24 @@ PvProxy::fetchSet(unsigned set, SetOp op)
         pendingOpCount() >= params_.patternBufferEntries) {
         // No MSHR / pattern-buffer space: report a predictor miss
         // rather than stalling the engine (paper Section 2.2).
-        dropOp(op);
+        dropOp(table, op, false);
+        return;
+    }
+    if (inFlightCount(table) >= fairShare(params_.mshrs) ||
+        pendingOpCount(table) >=
+            fairShare(params_.patternBufferEntries)) {
+        // This tenant already holds its fair share of the MSHR file
+        // or pattern buffer; the reserved slots belong to the other
+        // tenants.
+        dropOp(table, op, true);
         return;
     }
 
-    inFlight_.push_back(InFlight{set, {}});
+    inFlight_.push_back(InFlight{line, table, {}});
     inFlight_.back().pendingOps.push_back(std::move(op));
 
     ++memRequests;
-    auto *pkt = new Packet(MemCmd::ReadReq, layout_.setAddress(set),
+    auto *pkt = new Packet(MemCmd::ReadReq, lineAddress(line),
                            kInvalidCore);
     pkt->isPv = true;
     pkt->coherent = false;
@@ -226,23 +326,25 @@ PvProxy::drainSendQueue()
 void
 PvProxy::recvResponse(PacketPtr pkt)
 {
-    unsigned set = layout_.setOf(blockAlign(pkt->addr));
+    unsigned line = region_.lineOf(blockAlign(pkt->addr));
 
     auto it = std::find_if(inFlight_.begin(), inFlight_.end(),
-                           [set](const InFlight &f) {
-                               return f.set == set;
+                           [line](const InFlight &f) {
+                               return f.line == line;
                            });
     pv_assert(it != inFlight_.end(),
-              "PVProxy response for set %u with no MSHR", set);
+              "PVProxy response for line %u with no MSHR", line);
 
+    unsigned table = it->table;
     std::vector<SetOp> ops;
     ops.swap(it->pendingOps);
     inFlight_.erase(it);
 
-    CacheEntry &e = allocateEntry(set);
+    CacheEntry &e = allocateEntry(line, table);
     if (pkt->hasData())
         e.bytes = *pkt->data;
     ++fills;
+    ++engineStats(table).fills;
     delete pkt;
 
     for (const SetOp &op : ops)
@@ -261,18 +363,24 @@ PvProxy::storageBreakdown() const
 {
     StorageBreakdown b;
     // PVCache data: only the live bits of each packed line count as
-    // dedicated storage (473 bits per line for the 11-way PHT).
-    b.pvCacheData =
-        uint64_t(params_.pvCacheEntries) * params_.usedBitsPerLine;
-    // One tag per PVCache entry identifies the PVTable set it holds:
-    // log2(numSets) bits plus a valid bit.
-    unsigned tag_bits = unsigned(ceilLog2(layout_.numSets())) + 1;
+    // dedicated storage (473 bits per line for the 11-way PHT). A
+    // shared PVCache line must hold the widest tenant's packing.
+    unsigned used_bits = 0;
+    for (const auto &e : engines_)
+        used_bits = std::max(used_bits, e.info.usedBitsPerLine);
+    if (used_bits == 0)
+        used_bits = params_.usedBitsPerLine;
+    b.pvCacheData = uint64_t(params_.pvCacheEntries) * used_bits;
+    // One tag per PVCache entry identifies the region line it holds:
+    // log2(lines) bits plus a valid bit (the line index encodes the
+    // tenant, so no separate table-id field is needed).
+    unsigned lines = std::max(region_.linesUsed(), 2u);
+    unsigned tag_bits = unsigned(ceilLog2(lines)) + 1;
     b.tags = uint64_t(params_.pvCacheEntries) * tag_bits;
     b.dirtyBits = params_.pvCacheEntries;
-    // Each MSHR: valid + set index + the full line address it is
+    // Each MSHR: valid + line index + the full line address it is
     // fetching + per-op bookkeeping links into the pattern buffer.
-    unsigned mshr_bits = 1 + unsigned(ceilLog2(layout_.numSets())) +
-                         42 +
+    unsigned mshr_bits = 1 + unsigned(ceilLog2(lines)) + 42 +
                          4 * (1 + unsigned(ceilLog2(std::max(
                                       2u,
                                       params_.patternBufferEntries))));

@@ -1,11 +1,19 @@
 /**
  * @file
- * The PVProxy (paper Section 2.2): the on-chip mediator between an
- * optimization engine and its in-memory PVTable. Holds a small
+ * The PVProxy (paper Section 2.2): the on-chip mediator between
+ * optimization engines and their in-memory PVTables. Holds a small
  * fully-associative PVCache of table sets (one 64-byte line each),
  * an MSHR file for in-flight set fetches, a pattern buffer staging
  * pending operations while their set is fetched, and an evict buffer
  * for dirty lines on their way to the L2.
+ *
+ * The proxy is multi-tenant: one reserved PV physical region is
+ * partitioned into per-table segments, and any number of virtualized
+ * engines (PHT, BTB, stride, ...) register with the same proxy and
+ * share its PVCache and buffers. In-flight entries are tagged with
+ * the owning table-id, statistics are attributed per engine, and a
+ * fair drop policy keeps one engine from starving the others out of
+ * the pattern buffer.
  *
  * All PVProxy memory traffic is made of ordinary requests injected
  * at the L2 ("on the backside of the L1"); the hierarchy is
@@ -18,9 +26,11 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/pv_codec.hh"
 #include "core/pv_layout.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
@@ -40,8 +50,19 @@ struct PvProxyParams {
     unsigned evictBufferEntries = 4;
     /** Pending operations staged while sets are in flight. */
     unsigned patternBufferEntries = 16;
-    /** Bits of each packed line that hold live data (storage acct). */
+    /** Bits of each packed line that hold live data (storage acct).
+     *  Used by the legacy single-tenant constructor; engines
+     *  registered explicitly report their own codec's usedBits(). */
     unsigned usedBitsPerLine = 473;
+};
+
+/** Registration record for one tenant table. */
+struct PvEngineInfo {
+    std::string name = "table";
+    /** Sets (= lines) this engine's segment occupies. */
+    unsigned numSets = 0;
+    /** Live bits of each packed line (storage accounting). */
+    unsigned usedBitsPerLine = 0;
 };
 
 /**
@@ -49,12 +70,13 @@ struct PvProxyParams {
  * `dirty` must be set by operations that modify the bytes; `ages`
  * is sideband per-way recency metadata that lives only while the
  * line is in the PVCache (the packed line's trailing bits stay
- * unused, as in the paper's Figure 3a).
+ * unused, as in the paper's Figure 3a). Sized from the codec's
+ * way-count ceiling so a wide codec can never overflow it.
  */
 struct PvLineView {
     uint8_t *bytes;
     bool *dirty;
-    std::array<uint8_t, 16> *ages;
+    std::array<uint8_t, kPvMaxWays> *ages;
 };
 
 /** The proxy. */
@@ -70,19 +92,65 @@ class PvProxy : public SimObject, public MemClient
      */
     using SetOp = std::function<void(PvLineView view)>;
 
+    /**
+     * Multi-tenant constructor: the proxy fronts the PV region
+     * [region_start, region_start + region_bytes). Engines claim
+     * segments with registerEngine() before issuing accesses.
+     */
+    PvProxy(SimContext &ctx, const PvProxyParams &params,
+            Addr region_start, uint64_t region_bytes);
+
+    /**
+     * Single-tenant convenience constructor (the paper's original
+     * one-PHT-per-proxy shape): the region spans exactly `layout`
+     * and one engine named "table0" covering it is pre-registered
+     * as table-id 0.
+     */
     PvProxy(SimContext &ctx, const PvProxyParams &params,
             const PvTableLayout &layout);
+
+    /**
+     * Register a tenant; returns its table-id. The engine's segment
+     * is carved from the region in registration order, so distinct
+     * table-ids map to disjoint PV addresses by construction.
+     */
+    unsigned registerEngine(const PvEngineInfo &info);
+
+    unsigned numEngines() const { return unsigned(engines_.size()); }
+
+    /** Segment layout of one tenant. */
+    const PvTableLayout &
+    engineLayout(unsigned table) const
+    {
+        return engines_.at(table).layout;
+    }
+
+    /** Registration record of one tenant. */
+    const PvEngineInfo &
+    engineInfo(unsigned table) const
+    {
+        return engines_.at(table).info;
+    }
+
+    /** Legacy accessor: the layout of table 0. */
+    const PvTableLayout &layout() const { return engineLayout(0); }
 
     /** Connect the level the proxy injects requests into (the L2). */
     void setMemSide(MemDevice *dev) { memSide_ = dev; }
 
     /**
-     * Perform op on the line of table set `set`, fetching it from
-     * the memory hierarchy on a PVCache miss.
+     * Perform op on the line of set `set` of tenant `table`,
+     * fetching it from the memory hierarchy on a PVCache miss.
      */
-    void access(unsigned set, SetOp op);
+    void access(unsigned table, unsigned set, SetOp op);
 
-    /** Write back all dirty lines and drop clean ones. */
+    /** Single-tenant shorthand: table 0. */
+    void access(unsigned set, SetOp op)
+    {
+        access(0, set, std::move(op));
+    }
+
+    /** Write back all dirty lines (all tenants) and drop clean ones. */
     void flush();
 
     /** True when nothing is in flight (timing mode draining). */
@@ -91,8 +159,8 @@ class PvProxy : public SimObject, public MemClient
         return inFlight_.empty() && sendQueue_.empty();
     }
 
-    const PvTableLayout &layout() const { return layout_; }
     const PvProxyParams &params() const { return params_; }
+    const PvRegionLayout &region() const { return region_; }
 
     // MemClient
     void recvResponse(PacketPtr pkt) override;
@@ -122,45 +190,89 @@ class PvProxy : public SimObject, public MemClient
 
     StorageBreakdown storageBreakdown() const;
 
-    // Statistics
+    /** Per-tenant statistics scope ("<proxy>.<engine>"). */
+    struct EngineStats : public stats::Group {
+        EngineStats(stats::Group *parent, const std::string &name);
+
+        stats::Scalar operations;
+        stats::Scalar hits;        ///< PVCache hits
+        stats::Scalar misses;      ///< PVCache misses
+        stats::Scalar drops;       ///< ops dropped (predictor miss)
+        stats::Scalar fills;       ///< sets fetched for this tenant
+        stats::Scalar writebacks;  ///< dirty lines written back
+    };
+
+    EngineStats &engineStats(unsigned table)
+    {
+        return *engines_.at(table).stats;
+    }
+
+    // Aggregate statistics (all tenants)
     stats::Scalar operations;
     stats::Scalar pvCacheHits;
     stats::Scalar pvCacheMisses;
     stats::Scalar memRequests;   ///< set fetches sent to the L2
     stats::Scalar coalescedOps;  ///< ops joining an in-flight fetch
     stats::Scalar droppedOps;    ///< ops dropped (reported as miss)
+    stats::Scalar fairnessDrops; ///< ... dropped by the fair policy
     stats::Scalar fills;
     stats::Scalar writebacks;    ///< dirty lines sent to the L2
     stats::Scalar cleanEvicts;   ///< clean lines silently dropped
     stats::Scalar evictOverflows;
 
   private:
+    struct Engine {
+        PvEngineInfo info;
+        PvTableLayout layout;
+        std::unique_ptr<EngineStats> stats;
+    };
+
     struct CacheEntry {
         bool valid = false;
-        unsigned set = 0;
+        unsigned line = 0;  ///< global line index in the region
+        unsigned table = 0; ///< owning tenant (stats attribution)
         bool dirty = false;
         uint64_t lastTouch = 0;
         std::array<uint8_t, kBlockBytes> bytes{};
-        std::array<uint8_t, 16> ages{};
+        std::array<uint8_t, kPvMaxWays> ages{};
     };
 
+    /** One pending fetch, tagged with the owning tenant. */
     struct InFlight {
-        unsigned set = 0;
+        unsigned line = 0;
+        unsigned table = 0;
         std::vector<SetOp> pendingOps;
     };
 
-    CacheEntry *findEntry(unsigned set);
-    CacheEntry &allocateEntry(unsigned set);
+    CacheEntry *findEntry(unsigned line);
+    CacheEntry &allocateEntry(unsigned line, unsigned table);
     void applyOp(CacheEntry &e, const SetOp &op);
-    void dropOp(const SetOp &op);
+    void dropOp(unsigned table, const SetOp &op, bool fairness);
     void evictEntry(CacheEntry &e);
     void sendDown(PacketPtr pkt);
     void drainSendQueue();
-    void fetchSet(unsigned set, SetOp op);
+    void fetchLine(unsigned line, unsigned table, SetOp op);
     unsigned pendingOpCount() const;
+    unsigned pendingOpCount(unsigned table) const;
+    unsigned inFlightCount(unsigned table) const;
+
+    /**
+     * Entries of a shared buffer of `capacity` that one tenant may
+     * occupy: the fair policy reserves one slot for every other
+     * registered tenant, so a single busy engine can fill most —
+     * but never all — of the buffer. Applied to both the pattern
+     * buffer and the MSHR file.
+     */
+    unsigned fairShare(unsigned capacity) const;
+
+    Addr lineAddress(unsigned line) const
+    {
+        return region_.base() + Addr(line) * kBlockBytes;
+    }
 
     PvProxyParams params_;
-    PvTableLayout layout_;
+    PvRegionLayout region_;
+    std::vector<Engine> engines_;
     MemDevice *memSide_ = nullptr;
 
     std::vector<CacheEntry> entries_;

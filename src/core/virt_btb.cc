@@ -4,32 +4,40 @@ namespace pvsim {
 
 namespace {
 
-PvProxyParams
-proxyParamsFor(const VirtBtbParams &p)
+/** 46 target bits cover a 48-bit VA space of 4-byte-aligned PCs. */
+constexpr unsigned kTargetBits = 46;
+
+PvSetCodec
+btbCodec(unsigned assoc, unsigned tag_bits)
 {
-    PvProxyParams pp = p.proxy;
-    pp.usedBitsPerLine = p.assoc * (p.tagBits + 46);
-    return pp;
+    return PvSetCodec(assoc, tag_bits, kTargetBits);
 }
 
 } // anonymous namespace
 
+VirtualizedBtb::VirtualizedBtb(PvProxy &proxy,
+                               const std::string &name,
+                               unsigned num_sets, unsigned assoc,
+                               unsigned tag_bits)
+    : VirtEngine(proxy, name, btbCodec(assoc, tag_bits), num_sets)
+{
+}
+
 VirtualizedBtb::VirtualizedBtb(SimContext &ctx,
                                const VirtBtbParams &params,
                                Addr pv_start)
-    : params_(params), codec_(params.assoc, params.tagBits, 46),
-      proxy_(std::make_unique<PvProxy>(
-          ctx, proxyParamsFor(params),
-          PvTableLayout(pv_start, params.numSets))),
-      table_(proxy_.get(), codec_)
+    : VirtEngine(makeSingleTenantProxy(ctx, params.proxy, pv_start,
+                                       params.numSets),
+                 "btb", btbCodec(params.assoc, params.tagBits),
+                 params.numSets)
 {
 }
 
 void
 VirtualizedBtb::lookup(Addr pc, LookupCallback cb)
 {
-    table_.find(keyOf(pc), [cb = std::move(cb)](bool found,
-                                                uint64_t payload) {
+    table().find(keyOf(pc), [cb = std::move(cb)](bool found,
+                                                 uint64_t payload) {
         cb(found, Addr(payload) << 2);
     });
 }
@@ -38,7 +46,7 @@ void
 VirtualizedBtb::update(Addr pc, Addr target)
 {
     pv_assert(target != 0, "zero target is the empty marker");
-    table_.store(keyOf(pc), target >> 2);
+    table().store(keyOf(pc), target >> 2);
 }
 
 } // namespace pvsim

@@ -3,9 +3,9 @@
  * Virtualized Branch Target Buffer: the paper's future-work
  * suggestion ("we expect that there are other existing predictors,
  * such as branch target prediction, that will naturally benefit from
- * predictor virtualization", Section 6), built on the same generic
- * VirtualizedAssocTable as the PHT to show the framework's
- * generality.
+ * predictor virtualization", Section 6), built as a VirtEngine over
+ * the same VirtualizedAssocTable as the PHT to show the framework's
+ * generality — and able to share one multi-tenant PVProxy with it.
  *
  * Geometry: 8 entries of (16-bit tag + 46-bit target) = 62 bits each
  * = 496 bits per 64-byte line, sets configurable.
@@ -17,7 +17,7 @@
 #include <functional>
 #include <memory>
 
-#include "core/virt_table.hh"
+#include "core/virt_engine.hh"
 
 namespace pvsim {
 
@@ -26,16 +26,23 @@ struct VirtBtbParams {
     unsigned numSets = 2048;
     unsigned assoc = 8;
     unsigned tagBits = 16;
+    /** PVProxy sizing; owning ctor only. */
     PvProxyParams proxy;
 };
 
 /** Branch PC -> target predictor backed by the memory hierarchy. */
-class VirtualizedBtb
+class VirtualizedBtb : public VirtEngine
 {
   public:
     using LookupCallback =
         std::function<void(bool found, Addr target)>;
 
+    /** Register as a tenant of a shared, externally owned proxy. */
+    VirtualizedBtb(PvProxy &proxy, const std::string &name,
+                   unsigned num_sets, unsigned assoc,
+                   unsigned tag_bits);
+
+    /** Own a private single-tenant proxy (original shape). */
     VirtualizedBtb(SimContext &ctx, const VirtBtbParams &params,
                    Addr pv_start);
 
@@ -45,26 +52,13 @@ class VirtualizedBtb
     /** Learn/refresh a branch target. @pre target != 0. */
     void update(Addr pc, Addr target);
 
-    PvProxy &proxy() { return *proxy_; }
-    uint64_t storageBits() const
-    {
-        return proxy_->storageBreakdown().totalBits();
-    }
+    std::string kindName() const override { return "btb"; }
 
-    /** In-memory footprint of the virtualized table. */
-    uint64_t tableBytes() const
-    {
-        return proxy_->layout().tableBytes();
-    }
+    uint64_t storageBits() const { return proxyStorageBits(); }
 
   private:
     /** Branch PCs are (at least) 4-byte aligned. */
     static uint64_t keyOf(Addr pc) { return pc >> 2; }
-
-    VirtBtbParams params_;
-    PvSetCodec codec_;
-    std::unique_ptr<PvProxy> proxy_;
-    VirtualizedAssocTable table_;
 };
 
 } // namespace pvsim

@@ -1,0 +1,43 @@
+#include "core/virt_engine.hh"
+
+namespace pvsim {
+
+const char *
+virtEngineKindName(VirtEngineKind kind)
+{
+    switch (kind) {
+      case VirtEngineKind::Pht: return "pht";
+      case VirtEngineKind::Btb: return "btb";
+      case VirtEngineKind::Stride: return "stride";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<PvProxy>
+VirtEngine::makeSingleTenantProxy(SimContext &ctx,
+                                  PvProxyParams params,
+                                  Addr pv_start, unsigned num_sets)
+{
+    params.usedBitsPerLine = 0; // the tenant reports its codec
+    return std::make_unique<PvProxy>(
+        ctx, params, pv_start, uint64_t(num_sets) * kBlockBytes);
+}
+
+VirtEngine::VirtEngine(PvProxy &proxy, const std::string &name,
+                       const PvSetCodec &codec, unsigned num_sets)
+    : proxy_(&proxy), name_(name), codec_(codec),
+      tableId_(proxy.registerEngine(
+          {name, num_sets, codec.usedBits()})),
+      table_(&proxy, tableId_, codec_)
+{
+}
+
+VirtEngine::VirtEngine(std::unique_ptr<PvProxy> proxy,
+                       const std::string &name,
+                       const PvSetCodec &codec, unsigned num_sets)
+    : VirtEngine(*proxy, name, codec, num_sets)
+{
+    owned_ = std::move(proxy);
+}
+
+} // namespace pvsim

@@ -14,35 +14,36 @@ phtTagBits(unsigned num_sets)
     return index_bits >= kPhtKeyBits ? 1 : kPhtKeyBits - index_bits;
 }
 
-PvProxyParams
-proxyParamsFor(const VirtPhtParams &p)
+PvSetCodec
+phtCodec(unsigned num_sets, unsigned assoc)
 {
-    PvProxyParams pp = p.proxy;
-    // The storage accounting counts only live bits per line.
-    pp.usedBitsPerLine =
-        p.assoc * (phtTagBits(p.numSets) + 32);
-    return pp;
+    return PvSetCodec(assoc, phtTagBits(num_sets), 32);
 }
 
 } // anonymous namespace
 
+VirtualizedPht::VirtualizedPht(PvProxy &proxy,
+                               const std::string &name,
+                               unsigned num_sets, unsigned assoc)
+    : VirtEngine(proxy, name, phtCodec(num_sets, assoc), num_sets)
+{
+}
+
 VirtualizedPht::VirtualizedPht(SimContext &ctx,
                                const VirtPhtParams &params,
                                Addr pv_start)
-    : params_(params),
-      codec_(params.assoc, phtTagBits(params.numSets), 32),
-      proxy_(std::make_unique<PvProxy>(
-          ctx, proxyParamsFor(params),
-          PvTableLayout(pv_start, params.numSets))),
-      table_(proxy_.get(), codec_)
+    : VirtEngine(makeSingleTenantProxy(ctx, params.proxy, pv_start,
+                                       params.numSets),
+                 "pht", phtCodec(params.numSets, params.assoc),
+                 params.numSets)
 {
 }
 
 void
 VirtualizedPht::lookup(PhtKey key, LookupCallback cb)
 {
-    table_.find(key, [cb = std::move(cb)](bool found,
-                                          uint64_t payload) {
+    table().find(key, [cb = std::move(cb)](bool found,
+                                           uint64_t payload) {
         cb(found, SpatialPattern(payload));
     });
 }
@@ -52,14 +53,14 @@ VirtualizedPht::insert(PhtKey key, SpatialPattern pattern)
 {
     if (pattern == 0)
         return; // nothing to learn; zero marks empty entries
-    table_.store(key, pattern);
+    table().store(key, pattern);
 }
 
 std::string
 VirtualizedPht::phtName() const
 {
-    PhtGeometry g{params_.numSets, params_.assoc};
-    return "PV" + std::to_string(params_.proxy.pvCacheEntries) +
+    PhtGeometry g{segment().numSets(), codec().ways()};
+    return "PV" + std::to_string(proxy().params().pvCacheEntries) +
            "(" + g.label() + ")";
 }
 

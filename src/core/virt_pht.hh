@@ -4,7 +4,9 @@
  * the PHT stored in main memory behind a PVProxy, packed 11 entries
  * (11-bit tag + 32-bit pattern = 43 bits each) per 64-byte line.
  * Plugs into SmsPrefetcher wherever a dedicated SetAssocPht would —
- * the optimization engine is unchanged.
+ * the optimization engine is unchanged. A VirtEngine adapter: it can
+ * share a multi-tenant proxy with other virtualized structures or
+ * own a private one.
  */
 
 #ifndef PVSIM_CORE_VIRT_PHT_HH
@@ -12,7 +14,7 @@
 
 #include <memory>
 
-#include "core/virt_table.hh"
+#include "core/virt_engine.hh"
 #include "prefetch/pht.hh"
 
 namespace pvsim {
@@ -22,15 +24,29 @@ struct VirtPhtParams {
     /** Table geometry; the paper virtualizes 1K sets x 11 ways. */
     unsigned numSets = 1024;
     unsigned assoc = 11;
-    /** PVProxy sizing (paper Section 4.6). */
+    /** PVProxy sizing (paper Section 4.6); owning ctor only. */
     PvProxyParams proxy;
 };
 
 /** PatternHistoryTable backed by the memory hierarchy. */
-class VirtualizedPht : public PatternHistoryTable
+class VirtualizedPht : public PatternHistoryTable, public VirtEngine
 {
   public:
     /**
+     * Register as a tenant of a shared, externally owned proxy
+     * (whose memory side must already be or later be connected).
+     *
+     * @param proxy    The shared per-core PVProxy.
+     * @param name     Engine/stats name (e.g. "pht").
+     * @param num_sets Table sets.
+     * @param assoc    Entries per set.
+     */
+    VirtualizedPht(PvProxy &proxy, const std::string &name,
+                   unsigned num_sets, unsigned assoc);
+
+    /**
+     * Own a private single-tenant proxy (the seed's original shape).
+     *
      * @param ctx      Simulation context (for the internal proxy).
      * @param params   Geometry and proxy sizing.
      * @param pv_start This core's PVStart register value.
@@ -46,27 +62,19 @@ class VirtualizedPht : public PatternHistoryTable
 
     /**
      * Dedicated on-chip storage: just the PVProxy (the PVTable
-     * itself lives in memory). This is the paper's 889 bytes.
+     * itself lives in memory). This is the paper's 889 bytes; when
+     * the proxy is shared the figure covers all tenants.
      */
     uint64_t storageBits() const override
     {
-        return proxy_->storageBreakdown().totalBits();
+        return proxyStorageBits();
     }
 
     std::string phtName() const override;
-
-    PvProxy &proxy() { return *proxy_; }
-    const VirtPhtParams &params() const { return params_; }
-    VirtualizedAssocTable &table() { return table_; }
+    std::string kindName() const override { return "pht"; }
 
     /** Entry width in bits (43 for the paper's geometry). */
-    unsigned entryBits() const { return codec_.entryBits(); }
-
-  private:
-    VirtPhtParams params_;
-    PvSetCodec codec_;
-    std::unique_ptr<PvProxy> proxy_;
-    VirtualizedAssocTable table_;
+    unsigned entryBits() const { return codec().entryBits(); }
 };
 
 } // namespace pvsim

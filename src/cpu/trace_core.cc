@@ -1,5 +1,7 @@
 #include "cpu/trace_core.hh"
 
+#include "core/virt_btb.hh"
+#include "core/virt_stride.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -18,9 +20,63 @@ TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
                        "cycles stalled on a full store buffer"),
       loads(this, "loads", "load instructions"),
       stores(this, "stores", "store instructions"),
+      takenBranches(this, "taken_branches",
+                    "taken branches reconstructed from the trace"),
+      btbHits(this, "btb_hits",
+              "taken branches whose target the BTB predicted"),
+      btbMispredicts(this, "btb_mispredicts",
+                     "taken branches the BTB missed or mistargeted"),
+      stridePredicts(this, "stride_predicts",
+                     "confident stride-table predictions"),
+      strideHits(this, "stride_hits",
+                 "stride predictions matching the accessed block"),
       params_(params), source_(source), l1d_(l1d), l1i_(l1i)
 {
     pv_assert(source_ && l1d_ && l1i_, "core needs source and caches");
+}
+
+void
+TraceCore::noteRecordBoundary()
+{
+    // A record starting off the previous record's fall-through path
+    // was reached by a taken branch. The branch is keyed by the
+    // previous record's (stable) memory-instruction pc — not the
+    // gap-dependent last-instruction address, whose per-record
+    // randomness in synthetic streams would make keys unlearnable —
+    // and its target is this record's pc.
+    if (prevRecordValid_ && rec_.pc != prevFallthrough_) {
+        ++takenBranches;
+        if (btb_ && rec_.pc != 0) {
+            Addr target = rec_.pc;
+            btb_->lookup(prevPc_,
+                         [this, target](bool found, Addr predicted) {
+                if (found && predicted == target)
+                    ++btbHits;
+                else
+                    ++btbMispredicts;
+            });
+            btb_->update(prevPc_, target);
+        }
+    }
+    prevRecordValid_ = true;
+    prevPc_ = rec_.pc;
+    prevFallthrough_ =
+        rec_.pc + (Addr(rec_.gap) + 1) * params_.instBytes;
+
+    if (stride_) {
+        // Predict before training so the prediction reflects what
+        // the engine knew prior to this access.
+        Addr actual = blockAlign(rec_.addr);
+        stride_->predict(rec_.pc,
+                         [this, actual](bool confident, Addr next) {
+            if (!confident)
+                return;
+            ++stridePredicts;
+            if (next == actual)
+                ++strideHits;
+        });
+        stride_->observe(rec_.pc, rec_.addr);
+    }
 }
 
 // -----------------------------------------------------------------------
@@ -33,6 +89,7 @@ TraceCore::stepFunctional()
     if (!source_->next(rec_))
         return false;
     ++records;
+    noteRecordBoundary();
     instsRetired += uint64_t(rec_.gap) + 1;
 
     // Instruction fetch: blocks covering [pc, pc + (gap+1)*instBytes).
@@ -83,6 +140,7 @@ TraceCore::refill()
     if (!source_->next(rec_))
         return false;
     ++records;
+    noteRecordBoundary();
 
     fetchQueue_.clear();
     Addr start = rec_.pc;

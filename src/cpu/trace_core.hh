@@ -6,6 +6,12 @@
  * and issues stores through a non-blocking store buffer. L1 hits are
  * pipelined (no stall); all timing cost comes from misses, matching
  * how prefetching recovers performance in the paper.
+ *
+ * When a VirtualizedBtb is attached, the core reconstructs taken
+ * branches from record boundaries (a record whose pc is not the
+ * previous record's fall-through was reached by a taken branch) and
+ * drives BTB lookups/updates through the shared PVProxy — the
+ * paper's Section 6 "other existing predictors" path, end to end.
  */
 
 #ifndef PVSIM_CPU_TRACE_CORE_HH
@@ -22,6 +28,9 @@
 #include "trace/trace_record.hh"
 
 namespace pvsim {
+
+class VirtualizedBtb;
+class VirtualizedStride;
 
 /** Core configuration (paper Table 1, simplified to in-order). */
 struct CoreParams {
@@ -41,6 +50,19 @@ class TraceCore : public SimObject, public MemClient
   public:
     TraceCore(SimContext &ctx, const CoreParams &params,
               TraceSource *source, Cache *l1d, Cache *l1i);
+
+    /**
+     * Attach a virtualized BTB: every taken branch reconstructed
+     * from the trace is predicted and trained through it.
+     */
+    void setBtb(VirtualizedBtb *btb) { btb_ = btb; }
+
+    /**
+     * Attach a virtualized stride table: every data access is
+     * predicted and trained through it (prediction quality is
+     * tracked in stridePredicts/strideHits).
+     */
+    void setStride(VirtualizedStride *stride) { stride_ = stride; }
 
     // ---- Functional mode -------------------------------------------
 
@@ -89,10 +111,22 @@ class TraceCore : public SimObject, public MemClient
     stats::Scalar storeStallCycles;
     stats::Scalar loads;
     stats::Scalar stores;
+    stats::Scalar takenBranches;   ///< record boundaries not fall-through
+    stats::Scalar btbHits;         ///< BTB predicted the right target
+    stats::Scalar btbMispredicts;  ///< BTB missed or predicted wrong
+    stats::Scalar stridePredicts;  ///< confident stride predictions
+    stats::Scalar strideHits;      ///< ... matching the actual block
 
   private:
     /** Drive the state machine as far as it can go this tick. */
     void advance();
+
+    /**
+     * Reconstruct the branch (if any) that led to the just-loaded
+     * record and drive the attached BTB and stride engines; updates
+     * the fall-through tracking state either way.
+     */
+    void noteRecordBoundary();
 
     /** Issue the instruction-fetch for the current record; true if
      *  fetch completed without a stall. */
@@ -110,6 +144,13 @@ class TraceCore : public SimObject, public MemClient
     TraceSource *source_;
     Cache *l1d_;
     Cache *l1i_;
+    VirtualizedBtb *btb_ = nullptr;
+    VirtualizedStride *stride_ = nullptr;
+
+    /** Branch reconstruction state (see noteRecordBoundary). */
+    bool prevRecordValid_ = false;
+    Addr prevPc_ = 0;          ///< previous record's pc (branch key)
+    Addr prevFallthrough_ = 0; ///< pc the next record "should" have
 
     TraceRecord rec_;
     Phase phase_ = Phase::NeedRecord;

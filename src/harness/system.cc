@@ -41,10 +41,23 @@ System::System(const SystemConfig &cfg)
       addrMap_(cfg.memBytes, cfg.numCores, cfg.pvBytesPerCore)
 {
     pv_assert(cfg_.numCores > 0, "need at least one core");
-    pv_assert(cfg_.phtGeometry.numSets * uint64_t(kBlockBytes) <=
-                  cfg_.pvBytesPerCore,
-              "PVTable (%u sets) exceeds the per-core reservation",
-              cfg_.phtGeometry.numSets);
+    const std::vector<VirtEngineConfig> registry =
+        cfg_.engineRegistry();
+    uint64_t registry_bytes = 0;
+    for (const auto &ec : registry)
+        registry_bytes += uint64_t(ec.numSets) * kBlockBytes;
+    for (const auto &ec : cfg_.virtEngines) {
+        // The PHT tenant is implied by prefetch == SmsVirtualized
+        // (which also wires the SMS prefetcher); a bare Pht registry
+        // entry would create a PHT nothing drives.
+        pv_assert(ec.kind != VirtEngineKind::Pht,
+                  "request the PHT via PrefetchMode::SmsVirtualized, "
+                  "not a virtEngines entry");
+    }
+    pv_assert(registry_bytes <= cfg_.pvBytesPerCore,
+              "engine registry (%llu bytes of PVTables) exceeds the "
+              "per-core reservation",
+              (unsigned long long)registry_bytes);
 
     DramParams dp;
     dp.name = "dram";
@@ -112,11 +125,70 @@ System::System(const SystemConfig &cfg)
             nextLines_.push_back(std::move(nl));
         }
 
+        // ---- Virtualized engines: one shared proxy per core ------
+        std::unique_ptr<PvProxy> pvproxy;
+        std::vector<std::unique_ptr<VirtEngine>> engines;
         PatternHistoryTable *pht = nullptr;
-        std::unique_ptr<VirtualizedPht> vpht;
+        if (!registry.empty()) {
+            PvProxyParams pp;
+            pp.name = cn + ".pvproxy";
+            pp.pvCacheEntries = cfg_.pvCacheEntries;
+            pp.usedBitsPerLine = 0; // tenants report their codecs
+            // Shared tables: everyone gets core 0's PVStart
+            // (paper Section 2.1's alternative design).
+            Addr pv_start = cfg_.sharedPvTable
+                                ? addrMap_.pvStart(0)
+                                : addrMap_.pvStart(c);
+            pvproxy = std::make_unique<PvProxy>(
+                ctx_, pp, pv_start, cfg_.pvBytesPerCore);
+            pvproxy->setMemSide(l2_.get());
+
+            // The core drives the first tenant of each kind (the
+            // accessors also resolve to the first); later same-kind
+            // tenants are passive storage tenants.
+            VirtualizedBtb *first_btb = nullptr;
+            VirtualizedStride *first_stride = nullptr;
+            for (const auto &ec : registry) {
+                switch (ec.kind) {
+                  case VirtEngineKind::Pht: {
+                    auto e = std::make_unique<VirtualizedPht>(
+                        *pvproxy, ec.scopeName(), ec.numSets,
+                        ec.assoc);
+                    pht = e.get();
+                    engines.push_back(std::move(e));
+                    break;
+                  }
+                  case VirtEngineKind::Btb: {
+                    auto e = std::make_unique<VirtualizedBtb>(
+                        *pvproxy, ec.scopeName(), ec.numSets,
+                        ec.assoc, ec.tagBits);
+                    if (!first_btb)
+                        first_btb = e.get();
+                    engines.push_back(std::move(e));
+                    break;
+                  }
+                  case VirtEngineKind::Stride: {
+                    VirtStrideParams sp;
+                    sp.numSets = ec.numSets;
+                    sp.assoc = ec.assoc;
+                    sp.tagBits = ec.tagBits;
+                    auto e = std::make_unique<VirtualizedStride>(
+                        *pvproxy, ec.scopeName(), sp);
+                    if (!first_stride)
+                        first_stride = e.get();
+                    engines.push_back(std::move(e));
+                    break;
+                  }
+                }
+            }
+            core->setBtb(first_btb);
+            core->setStride(first_stride);
+        }
+
         switch (cfg_.prefetch) {
           case PrefetchMode::None:
           case PrefetchMode::Stride: // handled below, PHT-less
+          case PrefetchMode::SmsVirtualized: // registry tenant above
             break;
           case PrefetchMode::SmsInfinite: {
             auto p = std::make_unique<InfinitePht>();
@@ -128,23 +200,6 @@ System::System(const SystemConfig &cfg)
             auto p = std::make_unique<SetAssocPht>(cfg_.phtGeometry);
             pht = p.get();
             ownedPhts_.push_back(std::move(p));
-            break;
-          }
-          case PrefetchMode::SmsVirtualized: {
-            VirtPhtParams vp;
-            vp.numSets = cfg_.phtGeometry.numSets;
-            vp.assoc = cfg_.phtGeometry.assoc;
-            vp.proxy.name = cn + ".pvproxy";
-            vp.proxy.pvCacheEntries = cfg_.pvCacheEntries;
-            // Shared tables: everyone gets core 0's PVStart
-            // (paper Section 2.1's alternative design).
-            Addr pv_start = cfg_.sharedPvTable
-                                ? addrMap_.pvStart(0)
-                                : addrMap_.pvStart(c);
-            vpht = std::make_unique<VirtualizedPht>(ctx_, vp,
-                                                    pv_start);
-            vpht->proxy().setMemSide(l2_.get());
-            pht = vpht.get();
             break;
           }
         }
@@ -169,13 +224,24 @@ System::System(const SystemConfig &cfg)
         strides_.push_back(std::move(stride));
 
         phts_.push_back(pht);
-        virtPhts_.push_back(std::move(vpht));
+        pvProxies_.push_back(std::move(pvproxy));
+        engines_.push_back(std::move(engines));
         smses_.push_back(std::move(sms));
         l1ds_.push_back(std::move(l1d));
         l1is_.push_back(std::move(l1i));
         workloads_.push_back(std::move(workload));
         cores_.push_back(std::move(core));
     }
+}
+
+VirtEngine *
+System::engine(int core, const std::string &name)
+{
+    for (auto &e : engines_.at(core)) {
+        if (e->engineName() == name)
+            return e.get();
+    }
+    return nullptr;
 }
 
 System::~System() = default;
@@ -241,10 +307,9 @@ System::quiesced() const
         q = q && c->quiesced();
     for (const auto &c : l1is_)
         q = q && c->quiesced();
-    for (const auto &v : virtPhts_) {
-        if (v)
-            q = q && const_cast<VirtualizedPht &>(*v).proxy()
-                         .quiesced();
+    for (const auto &p : pvProxies_) {
+        if (p)
+            q = q && p->quiesced();
     }
     return q;
 }

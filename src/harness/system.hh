@@ -1,8 +1,10 @@
 /**
  * @file
  * System: builds and owns the full simulated machine — cores, L1s,
- * shared L2, DRAM, prefetchers, and (when configured) one PVProxy +
- * PVTable per core — wired exactly as in the paper's Figure 1b.
+ * shared L2, DRAM, prefetchers, and (when configured) one
+ * multi-tenant PVProxy per core serving every virtualized engine in
+ * the config's registry — wired as in the paper's Figure 1b, with
+ * the shared-PV-space extension of its Section 2.1.
  */
 
 #ifndef PVSIM_HARNESS_SYSTEM_HH
@@ -11,7 +13,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/virt_btb.hh"
 #include "core/virt_pht.hh"
+#include "core/virt_stride.hh"
 #include "cpu/trace_core.hh"
 #include "harness/system_config.hh"
 #include "mem/addr_map.hh"
@@ -51,8 +55,32 @@ class System
     StridePrefetcher *stride(int i) { return strides_.at(i).get(); }
     /** Trace source feeding core i. */
     TraceSource &traceSource(int i) { return *workloads_.at(i); }
+
+    /** Shared PVProxy of core i (nullptr without virtualization). */
+    PvProxy *pvProxy(int i) { return pvProxies_.at(i).get(); }
+    /** All virtualized engines registered for core i. */
+    const std::vector<std::unique_ptr<VirtEngine>> &
+    engines(int i) const
+    {
+        return engines_.at(i);
+    }
+    /** Engine of core i by registry name, or nullptr. */
+    VirtEngine *engine(int i, const std::string &name);
     /** Virtualized PHT of core i (nullptr unless SmsVirtualized). */
-    VirtualizedPht *virtPht(int i) { return virtPhts_.at(i).get(); }
+    VirtualizedPht *virtPht(int i)
+    {
+        return findEngine<VirtualizedPht>(i);
+    }
+    /** Virtualized BTB of core i (nullptr unless registered). */
+    VirtualizedBtb *virtBtb(int i)
+    {
+        return findEngine<VirtualizedBtb>(i);
+    }
+    /** Virtualized stride table of core i (nullptr unless registered). */
+    VirtualizedStride *virtStride(int i)
+    {
+        return findEngine<VirtualizedStride>(i);
+    }
     /** The PHT (any kind) of core i, or nullptr. */
     PatternHistoryTable *pht(int i) { return phts_.at(i); }
 
@@ -79,6 +107,18 @@ class System
     bool quiesced() const;
 
   private:
+    /** First engine of core i of concrete type T, or nullptr. */
+    template <class T>
+    T *
+    findEngine(int i)
+    {
+        for (auto &e : engines_.at(i)) {
+            if (auto *t = dynamic_cast<T *>(e.get()))
+                return t;
+        }
+        return nullptr;
+    }
+
     SystemConfig cfg_;
     SimContext ctx_;
     AddrMap addrMap_;
@@ -92,7 +132,10 @@ class System
     std::vector<std::unique_ptr<NextLinePrefetcher>> nextLines_;
     std::vector<std::unique_ptr<SmsPrefetcher>> smses_;
     std::vector<std::unique_ptr<StridePrefetcher>> strides_;
-    std::vector<std::unique_ptr<VirtualizedPht>> virtPhts_;
+    /** One multi-tenant proxy per core (null without virtualization). */
+    std::vector<std::unique_ptr<PvProxy>> pvProxies_;
+    /** Per-core engine registry instances, in registration order. */
+    std::vector<std::vector<std::unique_ptr<VirtEngine>>> engines_;
     std::vector<std::unique_ptr<PatternHistoryTable>> ownedPhts_;
     std::vector<PatternHistoryTable *> phts_;
 };

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/virt_engine.hh"
 #include "prefetch/pht.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
@@ -73,6 +75,34 @@ struct SystemConfig {
      * the same application (patterns learned by one core serve all).
      */
     bool sharedPvTable = false;
+    /**
+     * Registry of additional virtualized engines per core beyond the
+     * SMS PHT (which SmsVirtualized adds implicitly as the first
+     * tenant). All engines of one core share that core's single
+     * multi-tenant PVProxy; their segments are carved from the
+     * per-core PV reservation in registry order. BTB engines are
+     * wired into the core's branch handling automatically.
+     */
+    std::vector<VirtEngineConfig> virtEngines;
+
+    /**
+     * The full per-core engine registry: the implicit PHT tenant
+     * (when prefetch == SmsVirtualized) followed by virtEngines.
+     */
+    std::vector<VirtEngineConfig>
+    engineRegistry() const
+    {
+        std::vector<VirtEngineConfig> r;
+        if (prefetch == PrefetchMode::SmsVirtualized) {
+            VirtEngineConfig pht;
+            pht.kind = VirtEngineKind::Pht;
+            pht.numSets = phtGeometry.numSets;
+            pht.assoc = phtGeometry.assoc;
+            r.push_back(pht);
+        }
+        r.insert(r.end(), virtEngines.begin(), virtEngines.end());
+        return r;
+    }
 
     // ---- Workload ---------------------------------------------------------
     /** Preset name ("apache", ..., "qry17") fed to every core. */

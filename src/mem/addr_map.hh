@@ -1,8 +1,11 @@
 /**
  * @file
  * Physical address map: application memory plus the reserved,
- * OS-invisible per-core PVTable ranges (paper Section 2.1). Used by
- * the PVProxy to compute request addresses and by the stats machinery
+ * OS-invisible per-core PV regions (paper Section 2.1). Each core's
+ * region holds the PVTable segments of every virtualized engine
+ * registered with that core's multi-tenant PVProxy (the proxy's
+ * PvRegionLayout carves the segments per table-id). Used by the
+ * PVProxy to compute request addresses and by the stats machinery
  * to classify traffic into application vs. predictor data (Figure 8).
  */
 
@@ -76,7 +79,7 @@ class AddrMap
                                              : AddrClass::App;
     }
 
-    /** Which core's PVTable contains a? @pre classify(a) == Pv. */
+    /** Which core's PV region contains a? @pre classify(a) == Pv. */
     int
     pvOwner(Addr a) const
     {

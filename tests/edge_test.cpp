@@ -215,6 +215,6 @@ TEST(GuardRails, StoreOfZeroPayloadIsRejected)
     PvProxy proxy(ctx, pp, PvTableLayout(amap.pvStart(0), 64));
     proxy.setMemSide(&l2);
     PvSetCodec codec(11, 11, 32);
-    VirtualizedAssocTable table(&proxy, codec);
+    VirtualizedAssocTable table(&proxy, 0, codec);
     EXPECT_DEATH(table.store(5, 0), "empty marker");
 }
