@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/packet_pool.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -93,8 +94,8 @@ PvProxy::evictEntry(CacheEntry &e)
         // like any other data (paper Section 2.2).
         if (sendQueue_.size() >= params_.evictBufferEntries)
             ++evictOverflows;
-        auto *wb = new Packet(MemCmd::Writeback, lineAddress(e.line),
-                              kInvalidCore);
+        auto *wb = allocPacket(MemCmd::Writeback, lineAddress(e.line),
+                               kInvalidCore);
         wb->isPv = true;
         wb->coherent = false;
         wb->setData(e.bytes.data());
@@ -281,8 +282,8 @@ PvProxy::fetchLine(unsigned line, unsigned table, SetOp op)
     inFlight_.back().pendingOps.push_back(std::move(op));
 
     ++memRequests;
-    auto *pkt = new Packet(MemCmd::ReadReq, lineAddress(line),
-                           kInvalidCore);
+    auto *pkt = allocPacket(MemCmd::ReadReq, lineAddress(line),
+                            kInvalidCore);
     pkt->isPv = true;
     pkt->coherent = false;
     pkt->src = this;
@@ -296,7 +297,7 @@ PvProxy::sendDown(PacketPtr pkt)
     pv_assert(memSide_ != nullptr, "PVProxy has no memory side");
     if (!isTiming()) {
         memSide_->functionalAccess(*pkt);
-        delete pkt;
+        freePacket(pkt);
         return;
     }
     sendQueue_.push_back(pkt);
@@ -345,7 +346,7 @@ PvProxy::recvResponse(PacketPtr pkt)
         e.bytes = *pkt->data;
     ++fills;
     ++engineStats(table).fills;
-    delete pkt;
+    freePacket(pkt);
 
     for (const SetOp &op : ops)
         applyOp(e, op);

@@ -2,6 +2,7 @@
 
 #include "core/virt_btb.hh"
 #include "core/virt_stride.hh"
+#include "mem/packet_pool.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -83,11 +84,9 @@ TraceCore::noteRecordBoundary()
 // Functional mode
 // -----------------------------------------------------------------------
 
-bool
-TraceCore::stepFunctional()
+void
+TraceCore::processRecordFunctional()
 {
-    if (!source_->next(rec_))
-        return false;
     ++records;
     noteRecordBoundary();
     instsRetired += uint64_t(rec_.gap) + 1;
@@ -115,7 +114,36 @@ TraceCore::stepFunctional()
         ++loads;
     else
         ++stores;
+}
+
+bool
+TraceCore::stepFunctional()
+{
+    if (!source_->next(rec_))
+        return false;
+    processRecordFunctional();
     return true;
+}
+
+uint64_t
+TraceCore::stepFunctionalBatch(uint64_t max_records)
+{
+    if (batch_.empty())
+        batch_.resize(kBatchRecords);
+    uint64_t consumed = 0;
+    while (consumed < max_records) {
+        size_t want = size_t(
+            std::min<uint64_t>(kBatchRecords, max_records - consumed));
+        size_t got = source_->nextBatch(batch_.data(), want);
+        for (size_t i = 0; i < got; ++i) {
+            rec_ = batch_[i];
+            processRecordFunctional();
+        }
+        consumed += got;
+        if (got < want)
+            break; // end of trace
+    }
+    return consumed;
 }
 
 // -----------------------------------------------------------------------
@@ -143,6 +171,7 @@ TraceCore::refill()
     noteRecordBoundary();
 
     fetchQueue_.clear();
+    fetchPos_ = 0;
     Addr start = rec_.pc;
     uint64_t bytes = (uint64_t(rec_.gap) + 1) * params_.instBytes;
     for (Addr b = blockAlign(start); b < start + bytes;
@@ -158,20 +187,18 @@ TraceCore::refill()
 bool
 TraceCore::doFetch()
 {
-    while (!fetchQueue_.empty()) {
-        Addr b = fetchQueue_.front();
-        auto *pkt = new Packet(MemCmd::ReadReq, b, params_.id);
+    while (fetchPos_ < fetchQueue_.size()) {
+        Addr b = fetchQueue_[fetchPos_++];
+        auto *pkt = allocPacket(MemCmd::ReadReq, b, params_.id);
         pkt->pc = rec_.pc;
         pkt->isInstFetch = true;
         pkt->src = this;
         if (l1i_->probeAccess(pkt)) {
             // Pipelined hit: free.
-            fetchQueue_.pop_front();
-            delete pkt;
+            freePacket(pkt);
             continue;
         }
         // Miss: stall until the fill returns.
-        fetchQueue_.pop_front();
         waitingFetch_ = true;
         stallStart_ = curTick();
         return false;
@@ -183,13 +210,13 @@ bool
 TraceCore::doMem()
 {
     if (rec_.isLoad()) {
-        auto *pkt = new Packet(MemCmd::ReadReq, rec_.addr,
-                               params_.id);
+        auto *pkt = allocPacket(MemCmd::ReadReq, rec_.addr,
+                                params_.id);
         pkt->pc = rec_.pc;
         pkt->src = this;
         ++loads;
         if (l1d_->probeAccess(pkt)) {
-            delete pkt;
+            freePacket(pkt);
             return true;
         }
         waitingLoad_ = true;
@@ -203,12 +230,12 @@ TraceCore::doMem()
         stallStart_ = curTick();
         return false;
     }
-    auto *pkt = new Packet(MemCmd::WriteReq, rec_.addr, params_.id);
+    auto *pkt = allocPacket(MemCmd::WriteReq, rec_.addr, params_.id);
     pkt->pc = rec_.pc;
     pkt->src = this;
     ++stores;
     if (l1d_->probeAccess(pkt)) {
-        delete pkt; // store hit completes immediately
+        freePacket(pkt); // store hit completes immediately
     } else {
         ++storesInFlight_;
     }
@@ -268,7 +295,7 @@ TraceCore::recvResponse(PacketPtr pkt)
         // A buffered store completed.
         pv_assert(storesInFlight_ > 0, "stray store response");
         --storesInFlight_;
-        delete pkt;
+        freePacket(pkt);
         if (stalledOnStoreBuffer_) {
             stalledOnStoreBuffer_ = false;
             storeStallCycles += curTick() - stallStart_;
@@ -281,7 +308,7 @@ TraceCore::recvResponse(PacketPtr pkt)
         pv_assert(waitingFetch_, "stray ifetch response");
         waitingFetch_ = false;
         fetchStallCycles += curTick() - stallStart_;
-        delete pkt;
+        freePacket(pkt);
         advance();
         return;
     }
@@ -289,7 +316,7 @@ TraceCore::recvResponse(PacketPtr pkt)
     pv_assert(waitingLoad_, "stray load response");
     waitingLoad_ = false;
     loadStallCycles += curTick() - stallStart_;
-    delete pkt;
+    freePacket(pkt);
     advance();
 }
 

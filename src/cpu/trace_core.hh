@@ -17,8 +17,8 @@
 #ifndef PVSIM_CPU_TRACE_CORE_HH
 #define PVSIM_CPU_TRACE_CORE_HH
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "mem/cache.hh"
 #include "mem/packet.hh"
@@ -45,9 +45,12 @@ struct CoreParams {
 };
 
 /** The core. */
-class TraceCore : public SimObject, public MemClient
+class TraceCore final : public SimObject, public MemClient
 {
   public:
+    /** Records pulled from the source per batched stepping chunk. */
+    static constexpr size_t kBatchRecords = 256;
+
     TraceCore(SimContext &ctx, const CoreParams &params,
               TraceSource *source, Cache *l1d, Cache *l1i);
 
@@ -71,6 +74,16 @@ class TraceCore : public SimObject, public MemClient
      * (instruction fetch included). Returns false at end-of-trace.
      */
     bool stepFunctional();
+
+    /**
+     * Consume up to max_records records in kBatchRecords-sized
+     * chunks pulled through TraceSource::nextBatch — one virtual
+     * call per chunk instead of one per record, with the identical
+     * per-record state transitions and statistics as
+     * stepFunctional(). Returns the number of records consumed
+     * (less than max_records only at end-of-trace).
+     */
+    uint64_t stepFunctionalBatch(uint64_t max_records);
 
     // ---- Timing mode --------------------------------------------------
 
@@ -121,6 +134,10 @@ class TraceCore : public SimObject, public MemClient
     /** Drive the state machine as far as it can go this tick. */
     void advance();
 
+    /** Functional-mode work for the record in rec_ (shared by the
+     *  scalar and batched stepping paths). */
+    void processRecordFunctional();
+
     /**
      * Reconstruct the branch (if any) that led to the just-loaded
      * record and drive the attached BTB and stride engines; updates
@@ -159,8 +176,16 @@ class TraceCore : public SimObject, public MemClient
 
     /** Last instruction block fetched (suppresses repeat fetches). */
     Addr lastFetchBlock_ = ~Addr(0);
-    /** Remaining instruction blocks to fetch for this record. */
-    std::deque<Addr> fetchQueue_;
+    /**
+     * Instruction blocks to fetch for this record, drained strictly
+     * FIFO by fetchPos_. A reused vector plus cursor: refilling
+     * never reallocates once warm (the record's block count is
+     * bounded by gap), unlike the deque this replaces.
+     */
+    std::vector<Addr> fetchQueue_;
+    size_t fetchPos_ = 0;
+    /** Chunk buffer for stepFunctionalBatch. */
+    std::vector<TraceRecord> batch_;
     bool waitingFetch_ = false;
     bool waitingLoad_ = false;
     Tick stallStart_ = 0;

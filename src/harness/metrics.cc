@@ -1,8 +1,65 @@
 #include "harness/metrics.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <thread>
 
 namespace pvsim {
+
+unsigned
+harnessJobs()
+{
+    if (const char *env = std::getenv("PVSIM_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return unsigned(std::min<unsigned long>(v, 256));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace {
+
+/**
+ * Run body(b) for every batch in [0, batches), sharded over up to
+ * harnessJobs() worker threads. Each body(b) call constructs its
+ * own System — there is no shared SimContext between batches, by
+ * construction — and all batch inputs derive from b alone, so the
+ * result vector is bit-identical to a serial loop no matter how
+ * many workers run or how the OS schedules them.
+ */
+void
+forEachBatch(unsigned batches,
+             const std::function<void(unsigned)> &body)
+{
+    unsigned jobs = std::min(harnessJobs(), batches);
+    if (jobs <= 1) {
+        for (unsigned b = 0; b < batches; ++b)
+            body(b);
+        return;
+    }
+    std::atomic<unsigned> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        workers.emplace_back([&] {
+            for (;;) {
+                unsigned b = next.fetch_add(1);
+                if (b >= batches)
+                    return;
+                body(b);
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+}
+
+} // anonymous namespace
 
 CoverageMetrics
 coverageOf(System &sys)
@@ -85,34 +142,37 @@ timedIpc(SystemConfig cfg, uint64_t warmup_records,
 }
 
 std::vector<double>
-baselineIpcs(SystemConfig base, uint64_t warmup_records,
+baselineIpcs(const SystemConfig &base, uint64_t warmup_records,
              uint64_t measure_records, unsigned batches)
 {
-    std::vector<double> ipcs;
-    for (unsigned b = 0; b < batches; ++b) {
-        base.seedOffset = b;
-        ipcs.push_back(timedIpc(base, warmup_records,
-                                measure_records));
-    }
+    std::vector<double> ipcs(batches, 0.0);
+    forEachBatch(batches, [&](unsigned b) {
+        // Explicit per-batch copy: only seedOffset varies.
+        SystemConfig cfg = base;
+        cfg.seedOffset = b;
+        ipcs[b] = timedIpc(cfg, warmup_records, measure_records);
+    });
     return ipcs;
 }
 
 SpeedupResult
 speedupOverBaseline(const std::vector<double> &base_ipcs,
-                    SystemConfig cfg, uint64_t warmup_records,
+                    const SystemConfig &cfg, uint64_t warmup_records,
                     uint64_t measure_records)
 {
     SpeedupResult r;
-    for (unsigned b = 0; b < base_ipcs.size(); ++b) {
-        cfg.seedOffset = b;
+    unsigned batches = unsigned(base_ipcs.size());
+    r.batchPct.assign(batches, 0.0);
+    forEachBatch(batches, [&](unsigned b) {
+        SystemConfig batch_cfg = cfg;
+        batch_cfg.seedOffset = b;
         double ipc_cfg =
-            timedIpc(cfg, warmup_records, measure_records);
-        double speedup =
+            timedIpc(batch_cfg, warmup_records, measure_records);
+        r.batchPct[b] =
             base_ipcs[b] > 0.0
                 ? 100.0 * (ipc_cfg / base_ipcs[b] - 1.0)
                 : 0.0;
-        r.batchPct.push_back(speedup);
-    }
+    });
     MeanCi ci = meanCi(r.batchPct);
     r.meanPct = ci.mean;
     r.ciPct = ci.halfWidth;
@@ -120,7 +180,7 @@ speedupOverBaseline(const std::vector<double> &base_ipcs,
 }
 
 SpeedupResult
-matchedPairSpeedup(SystemConfig base, SystemConfig cfg,
+matchedPairSpeedup(const SystemConfig &base, const SystemConfig &cfg,
                    uint64_t warmup_records, uint64_t measure_records,
                    unsigned batches)
 {

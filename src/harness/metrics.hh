@@ -106,28 +106,44 @@ struct SpeedupResult {
     std::vector<double> batchPct;
 };
 
-/** One timing run: warmup, reset stats, measure; returns IPC. */
+/** One timing run: warmup, reset stats, measure; returns IPC.
+ *  Takes cfg by value: this IS the per-run copy that the batch
+ *  drivers mutate (mode, seedOffset) for one run. */
 double timedIpc(SystemConfig cfg, uint64_t warmup_records,
                 uint64_t measure_records);
 
-/** Matched-pair speedup of cfg vs base over `batches` seed pairs. */
-SpeedupResult matchedPairSpeedup(SystemConfig base, SystemConfig cfg,
+/**
+ * Worker threads used by the batch drivers below: the PVSIM_JOBS
+ * environment variable when set (>= 1), else the hardware thread
+ * count. Each batch runs a fully self-contained System (its own
+ * SimContext, event queue and RNGs) and derives its seeds from the
+ * batch index alone, so the sharded results are bit-identical to a
+ * serial run regardless of the worker count.
+ */
+unsigned harnessJobs();
+
+/** Matched-pair speedup of cfg vs base over `batches` seed pairs.
+ *  Batches are sharded across harnessJobs() worker threads. */
+SpeedupResult matchedPairSpeedup(const SystemConfig &base,
+                                 const SystemConfig &cfg,
                                  uint64_t warmup_records,
                                  uint64_t measure_records,
                                  unsigned batches);
 
 /**
  * Baseline IPCs for batches 0..n-1 (seedOffset = batch index),
- * reusable across several matched configurations.
+ * reusable across several matched configurations. Sharded across
+ * harnessJobs() worker threads.
  */
-std::vector<double> baselineIpcs(SystemConfig base,
+std::vector<double> baselineIpcs(const SystemConfig &base,
                                  uint64_t warmup_records,
                                  uint64_t measure_records,
                                  unsigned batches);
 
-/** Matched-pair speedup against precomputed baseline IPCs. */
+/** Matched-pair speedup against precomputed baseline IPCs.
+ *  Sharded across harnessJobs() worker threads. */
 SpeedupResult speedupOverBaseline(const std::vector<double> &base_ipcs,
-                                  SystemConfig cfg,
+                                  const SystemConfig &cfg,
                                   uint64_t warmup_records,
                                   uint64_t measure_records);
 

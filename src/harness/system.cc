@@ -1,5 +1,7 @@
 #include "harness/system.hh"
 
+#include <algorithm>
+
 #include "trace/workload.hh"
 #include "util/logging.hh"
 
@@ -251,17 +253,26 @@ System::runFunctional(uint64_t refs_per_core)
 {
     pv_assert(ctx_.mode() == SimMode::Functional,
               "runFunctional on a timing system");
-    std::vector<bool> live(size_t(cfg_.numCores), true);
-    int live_count = cfg_.numCores;
-    for (uint64_t step = 0; step < refs_per_core && live_count > 0;
-         ++step) {
+    const uint64_t chunk = std::max<uint64_t>(1, cfg_.functionalChunk);
+    // Round-robin the cores in chunks: each turn consumes up to
+    // `chunk` records through the batched stepping path instead of
+    // a single record, amortizing dispatch across the chunk. Every
+    // core still consumes exactly refs_per_core records (or its
+    // whole trace).
+    std::vector<uint64_t> remaining(size_t(cfg_.numCores),
+                                    refs_per_core);
+    int live_count = refs_per_core > 0 ? cfg_.numCores : 0;
+    while (live_count > 0) {
         for (int c = 0; c < cfg_.numCores; ++c) {
-            if (!live[c])
+            if (remaining[c] == 0)
                 continue;
-            if (!cores_[c]->stepFunctional()) {
-                live[c] = false;
+            uint64_t want = std::min(chunk, remaining[c]);
+            uint64_t got = cores_[c]->stepFunctionalBatch(want);
+            remaining[c] -= got;
+            if (got < want)
+                remaining[c] = 0; // end of trace
+            if (remaining[c] == 0)
                 --live_count;
-            }
         }
     }
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/packet_pool.hh"
+
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -74,10 +76,13 @@ Cache::Cache(SimContext &ctx, const CacheParams &params,
     numSets_ = unsigned(params_.sizeBytes /
                         (uint64_t(params_.assoc) * kBlockBytes));
     pv_assert(numSets_ > 0, "cache must have at least one set");
-    sets_.resize(numSets_);
-    for (auto &set : sets_)
-        set.resize(params_.assoc);
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = numSets_ - 1;
+    blocks_.resize(size_t(numSets_) * params_.assoc);
+    tags_.assign(blocks_.size(), kInvalidTag);
+    lastTouch_.assign(blocks_.size(), 0);
     repl_ = makeReplacementPolicy(params_.replPolicy);
+    lruFast_ = params_.replPolicy == "lru";
     bankFreeAt_.assign(std::max(1u, params_.banks), 0);
     if (params_.dropPvWritebacks)
         pv_assert(addrMap_ != nullptr,
@@ -100,10 +105,11 @@ CacheBlk *
 Cache::findBlock(Addr block_addr)
 {
     Addr aligned = blockAlign(block_addr);
-    auto &set = sets_[setIndex(aligned)];
-    for (auto &blk : set) {
-        if (blk.valid && blk.blockAddr == aligned)
-            return &blk;
+    const size_t base = setBase(setIndex(aligned));
+    const Addr *tags = tags_.data() + base;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (tags[w] == aligned)
+            return &blocks_[base + w];
     }
     return nullptr;
 }
@@ -112,11 +118,10 @@ const CacheBlk *
 Cache::peekBlock(Addr block_addr) const
 {
     Addr aligned = blockAlign(block_addr);
-    const auto &set =
-        sets_[unsigned(blockNumber(aligned) % numSets_)];
-    for (const auto &blk : set) {
-        if (blk.valid && blk.blockAddr == aligned)
-            return &blk;
+    const size_t base = setBase(setIndex(aligned));
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (tags_[base + w] == aligned)
+            return &blocks_[base + w];
     }
     return nullptr;
 }
@@ -125,10 +130,9 @@ uint64_t
 Cache::numValidBlocks() const
 {
     uint64_t n = 0;
-    for (const auto &set : sets_)
-        for (const auto &blk : set)
-            if (blk.valid)
-                ++n;
+    for (const auto &blk : blocks_)
+        if (blk.valid)
+            ++n;
     return n;
 }
 
@@ -235,7 +239,12 @@ Cache::serveHit(Packet &pkt, CacheBlk &blk)
 void
 Cache::completeAccess_(Packet &pkt, CacheBlk &blk)
 {
-    repl_->touch(blk, ++accessCounter_);
+    if (lruFast_) {
+        blk.lastTouch = ++accessCounter_;
+        lastTouch_[size_t(&blk - blocks_.data())] = blk.lastTouch;
+    } else {
+        repl_->touch(blk, ++accessCounter_);
+    }
 
     switch (pkt.cmd) {
       case MemCmd::ReadReq:
@@ -286,25 +295,39 @@ Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
                     const Packet::Data *data)
 {
     Addr aligned = blockAlign(block_addr);
-    auto &set = sets_[setIndex(aligned)];
+    const size_t base = setBase(setIndex(aligned));
+    const unsigned assoc = params_.assoc;
 
     CacheBlk *frame = nullptr;
-    for (auto &blk : set) {
-        if (!blk.valid) {
-            frame = &blk;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (tags_[base + w] == kInvalidTag) {
+            frame = &blocks_[base + w];
             break;
         }
     }
     if (!frame) {
-        victimScratch_.clear();
-        for (auto &blk : set)
-            victimScratch_.push_back(&blk);
-        frame = victimScratch_[repl_->victim(victimScratch_)];
+        if (lruFast_) {
+            // Inline LRU: min lastTouch, ties to the lowest way —
+            // exactly LruPolicy::victim over the set in way order.
+            const uint64_t *touch = lastTouch_.data() + base;
+            unsigned best = 0;
+            for (unsigned w = 1; w < assoc; ++w) {
+                if (touch[w] < touch[best])
+                    best = w;
+            }
+            frame = &blocks_[base + best];
+        } else {
+            victimScratch_.clear();
+            for (unsigned w = 0; w < assoc; ++w)
+                victimScratch_.push_back(&blocks_[base + w]);
+            frame = victimScratch_[repl_->victim(victimScratch_)];
+        }
         evictBlock(*frame);
     }
 
     frame->blockAddr = aligned;
     frame->valid = true;
+    tags_[size_t(frame - blocks_.data())] = aligned;
     frame->dirty = false;
     frame->writable = writable;
     frame->wasPrefetched = was_prefetch;
@@ -315,6 +338,8 @@ Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
     ++accessCounter_;
     frame->lastTouch = accessCounter_;
     frame->insertedAt = accessCounter_;
+    if (lruFast_)
+        lastTouch_[size_t(frame - blocks_.data())] = accessCounter_;
     if (data)
         frame->ensureData() = *data;
     else
@@ -347,8 +372,8 @@ Cache::evictBlock(CacheBlk &blk)
             // data is advisory so only effectiveness is affected.
             ++pvWritebacksDropped;
         } else {
-            auto *wb = new Packet(MemCmd::Writeback, blk.blockAddr,
-                                  kInvalidCore);
+            auto *wb = allocPacket(MemCmd::Writeback, blk.blockAddr,
+                                   kInvalidCore);
             wb->coherent = !params_.directory;
             wb->srcSlot = slotAtLower_;
             wb->isPv = blk.isPv;
@@ -364,8 +389,8 @@ Cache::evictBlock(CacheBlk &blk)
         }
     } else if (!params_.directory && memSide_) {
         // Clean-eviction notice keeps the L2 directory exact.
-        auto *ce = new Packet(MemCmd::CleanEvict, blk.blockAddr,
-                              kInvalidCore);
+        auto *ce = allocPacket(MemCmd::CleanEvict, blk.blockAddr,
+                               kInvalidCore);
         ce->srcSlot = slotAtLower_;
         ce->isPv = blk.isPv;
         ++cleanEvictsOut;
@@ -375,7 +400,7 @@ Cache::evictBlock(CacheBlk &blk)
     if (listener_)
         listener_->onEvict(blk.blockAddr);
 
-    blk.invalidate();
+    invalidateBlock_(blk);
 }
 
 void
@@ -423,12 +448,12 @@ void
 Cache::emitDown(PacketPtr pkt)
 {
     if (!memSide_) {
-        delete pkt;
+        freePacket(pkt);
         return;
     }
     if (!isTiming()) {
         memSide_->functionalAccess(*pkt);
-        delete pkt;
+        freePacket(pkt);
         return;
     }
     sendQueue_.push_back(pkt);
@@ -535,7 +560,7 @@ Cache::recvRequest(PacketPtr pkt)
         // Writebacks are sunk immediately; backpressure comes from
         // the sender's queue, not from here.
         handleWriteback(*pkt);
-        delete pkt;
+        freePacket(pkt);
         return true;
     }
 
@@ -632,7 +657,7 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
         if (pkt->isPrefetch) {
             // A prefetch joining any in-flight miss is redundant.
             ++prefetchDropped;
-            delete pkt;
+            freePacket(pkt);
             return;
         }
         mshr->targets.push_back(pkt);
@@ -659,7 +684,7 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
     if (down_cmd == MemCmd::UpgradeReq)
         ++upgrades;
 
-    auto *dpkt = new Packet(down_cmd, baddr, pkt->coreId);
+    auto *dpkt = allocPacket(down_cmd, baddr, pkt->coreId);
     dpkt->pc = pkt->pc;
     dpkt->isInstFetch = pkt->isInstFetch;
     dpkt->isPv = pkt->isPv;
@@ -731,7 +756,7 @@ Cache::recvResponse(PacketPtr pkt)
     for (PacketPtr t : targets) {
         if (t->isPrefetchReq() && t->src == nullptr) {
             // Self-issued prefetch: the fill itself was the point.
-            delete t;
+            freePacket(t);
             continue;
         }
         completeAccess_(*t, *blk);
@@ -744,7 +769,7 @@ Cache::recvResponse(PacketPtr pkt)
                  EventQueue::kPrioResponse);
     }
 
-    delete pkt;
+    freePacket(pkt);
 }
 
 void
@@ -758,7 +783,7 @@ Cache::recvInvalidate(Addr block_addr)
         ++overpredictions;
     if (listener_)
         listener_->onInvalidate(blk->blockAddr);
-    blk->invalidate();
+    invalidateBlock_(*blk);
 }
 
 void
@@ -815,7 +840,7 @@ Cache::issuePrefetch(Addr block_addr, Addr pc)
     m.wasPrefetch = true;
     m.inService = true;
 
-    auto *dpkt = new Packet(MemCmd::PrefetchReq, baddr, kInvalidCore);
+    auto *dpkt = allocPacket(MemCmd::PrefetchReq, baddr, kInvalidCore);
     dpkt->pc = pc;
     dpkt->isPrefetch = true;
     dpkt->src = this;

@@ -87,7 +87,7 @@ class CacheListener
 };
 
 /** The cache proper. */
-class Cache : public SimObject, public MemDevice, public MemClient
+class Cache final : public SimObject, public MemDevice, public MemClient
 {
   public:
     Cache(SimContext &ctx, const CacheParams &params,
@@ -168,10 +168,9 @@ class Cache : public SimObject, public MemDevice, public MemClient
     void
     forEachValidBlock(Fn &&fn) const
     {
-        for (const auto &set : sets_)
-            for (const auto &blk : set)
-                if (blk.valid)
-                    fn(blk);
+        for (const auto &blk : blocks_)
+            if (blk.valid)
+                fn(blk);
     }
 
     /** Outstanding misses (tests / draining). */
@@ -230,7 +229,10 @@ class Cache : public SimObject, public MemDevice, public MemClient
 
     unsigned setIndex(Addr block_addr) const
     {
-        return unsigned(blockNumber(block_addr) % numSets_);
+        // numSets_ is a power of two for every realistic geometry;
+        // the mask avoids a hardware divide on the hottest path.
+        uint64_t bn = blockNumber(block_addr);
+        return unsigned(setMask_ ? bn & setMask_ : bn % numSets_);
     }
 
     unsigned bankIndex(Addr block_addr) const
@@ -239,6 +241,25 @@ class Cache : public SimObject, public MemDevice, public MemClient
     }
 
     CacheBlk *findBlock(Addr block_addr);
+
+    /** First block index of a set in the flat arrays. */
+    size_t
+    setBase(unsigned set) const
+    {
+        return size_t(set) * params_.assoc;
+    }
+
+    /**
+     * Invalidate blk and clear its mirrored tag. All validity
+     * transitions must go through here or installBlock so tags_
+     * stays exact.
+     */
+    void
+    invalidateBlock_(CacheBlk &blk)
+    {
+        tags_[size_t(&blk - blocks_.data())] = kInvalidTag;
+        blk.invalidate();
+    }
 
     // -- Core state machine (shared functional/timing) ----------------
 
@@ -298,11 +319,35 @@ class Cache : public SimObject, public MemDevice, public MemClient
 
     // -- Members --------------------------------------------------------
 
+    /** tags_ value for an invalid way (never a block-aligned addr). */
+    static constexpr Addr kInvalidTag = ~Addr(0);
+
     CacheParams params_;
     const AddrMap *addrMap_;
     unsigned numSets_;
-    std::vector<std::vector<CacheBlk>> sets_;
+    /** numSets_ - 1 when numSets_ is a power of two, else 0. */
+    uint64_t setMask_ = 0;
+    /** All block frames, flat: way w of set s at [s * assoc + w]. */
+    std::vector<CacheBlk> blocks_;
+    /**
+     * Mirror of each frame's (valid, blockAddr) packed into one
+     * word: the tag when valid, kInvalidTag otherwise. Lookups scan
+     * 8 bytes per way instead of pulling whole CacheBlk frames
+     * through the host caches — the single hottest loop in
+     * functional simulation.
+     */
+    std::vector<Addr> tags_;
+    /**
+     * Mirror of each frame's lastTouch, maintained only on the
+     * lruFast_ path (its only reader): keeps the victim scan on a
+     * compact array instead of striding through CacheBlk frames.
+     */
+    std::vector<uint64_t> lastTouch_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** True for the (default) LRU policy: victim selection and
+     *  touch run inline instead of through the policy virtuals —
+     *  identical choices, no candidate-vector rebuild per miss. */
+    bool lruFast_ = false;
     uint64_t accessCounter_ = 0;
 
     MemDevice *memSide_ = nullptr;

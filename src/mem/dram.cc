@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/packet_pool.hh"
 #include "util/logging.hh"
 
 namespace pvsim {
@@ -76,7 +77,7 @@ Dram::recvRequest(PacketPtr pkt)
     pv_assert(isTiming(), "recvRequest in functional mode");
     bool respond = handle(*pkt);
     if (!respond) {
-        delete pkt;
+        freePacket(pkt);
         return true;
     }
 

@@ -1,0 +1,18 @@
+#include "mem/packet_pool.hh"
+
+namespace pvsim {
+
+PacketPool::~PacketPool()
+{
+    for (void *mem : free_)
+        ::operator delete(mem);
+}
+
+PacketPool &
+PacketPool::local()
+{
+    static thread_local PacketPool pool;
+    return pool;
+}
+
+} // namespace pvsim

@@ -221,8 +221,8 @@ SyntheticWorkload::emitIrregular(TraceRecord &rec)
     fillCommon(rec, pc, addr);
 }
 
-bool
-SyntheticWorkload::next(TraceRecord &rec)
+void
+SyntheticWorkload::emitOne(TraceRecord &rec)
 {
     double draw = rng_.uniform();
     if (draw < params_.irregularFraction) {
@@ -236,7 +236,21 @@ SyntheticWorkload::next(TraceRecord &rec)
         size_t slot = rng_.below(visits_.size());
         emitFrom(visits_[slot], rec);
     }
+}
+
+bool
+SyntheticWorkload::next(TraceRecord &rec)
+{
+    emitOne(rec);
     return true;
+}
+
+size_t
+SyntheticWorkload::nextBatch(TraceRecord *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        emitOne(out[i]);
+    return n;
 }
 
 } // namespace pvsim

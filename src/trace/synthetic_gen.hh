@@ -21,7 +21,7 @@
 namespace pvsim {
 
 /** Endless deterministic generator for one core's reference stream. */
-class SyntheticWorkload : public TraceSource
+class SyntheticWorkload final : public TraceSource
 {
   public:
     /**
@@ -32,6 +32,7 @@ class SyntheticWorkload : public TraceSource
     SyntheticWorkload(const WorkloadParams &params, int core_id);
 
     bool next(TraceRecord &rec) override;
+    size_t nextBatch(TraceRecord *out, size_t n) override;
     void reset() override;
     std::string sourceName() const override { return params_.name; }
 
@@ -77,6 +78,9 @@ class SyntheticWorkload : public TraceSource
     };
 
     void startVisit(Visit &v);
+    /** One record, shared by next() and nextBatch() (identical
+     *  draws; the batch loop just skips the virtual dispatch). */
+    void emitOne(TraceRecord &rec);
     void emitFrom(Visit &v, TraceRecord &rec);
     void emitScan(Scan &s, TraceRecord &rec);
     void emitIrregular(TraceRecord &rec);

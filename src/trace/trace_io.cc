@@ -1,8 +1,16 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
+
+namespace {
+
+/** Records decoded per fread in the bulk reader (stack buffer). */
+constexpr size_t kReadChunk = 256;
+
+} // anonymous namespace
 
 namespace pvsim {
 
@@ -116,6 +124,20 @@ TraceFileReader::~TraceFileReader()
         std::fclose(file_);
 }
 
+namespace {
+
+/** Decode one on-disk record at buf into rec. */
+inline void
+decodeRecord(const uint8_t *buf, TraceRecord &rec)
+{
+    rec.pc = get64(buf);
+    rec.addr = get64(buf + 8);
+    rec.gap = uint16_t(buf[16] | (uint16_t(buf[17]) << 8));
+    rec.op = MemOp(buf[18]);
+}
+
+} // anonymous namespace
+
 bool
 TraceFileReader::next(TraceRecord &rec)
 {
@@ -125,12 +147,31 @@ TraceFileReader::next(TraceRecord &rec)
     if (std::fread(buf, 1, sizeof(buf), file_) != sizeof(buf))
         fatal("trace '%s' truncated at record %llu", path_.c_str(),
               (unsigned long long)read_);
-    rec.pc = get64(buf);
-    rec.addr = get64(buf + 8);
-    rec.gap = uint16_t(buf[16] | (uint16_t(buf[17]) << 8));
-    rec.op = MemOp(buf[18]);
+    decodeRecord(buf, rec);
     ++read_;
     return true;
+}
+
+size_t
+TraceFileReader::nextBatch(TraceRecord *out, size_t n)
+{
+    size_t produced = 0;
+    uint8_t buf[kTraceRecordBytes * kReadChunk];
+    while (produced < n && read_ < count_) {
+        size_t want = size_t(std::min<uint64_t>(
+            std::min<uint64_t>(n - produced, count_ - read_),
+            kReadChunk));
+        size_t bytes = want * kTraceRecordBytes;
+        if (std::fread(buf, 1, bytes, file_) != bytes)
+            fatal("trace '%s' truncated at record %llu",
+                  path_.c_str(), (unsigned long long)read_);
+        for (size_t i = 0; i < want; ++i)
+            decodeRecord(buf + i * kTraceRecordBytes,
+                         out[produced + i]);
+        produced += want;
+        read_ += want;
+    }
+    return produced;
 }
 
 void

@@ -51,7 +51,7 @@ class TraceFileWriter
 };
 
 /** Sequential trace reader implementing TraceSource. */
-class TraceFileReader : public TraceSource
+class TraceFileReader final : public TraceSource
 {
   public:
     explicit TraceFileReader(const std::string &path);
@@ -61,6 +61,8 @@ class TraceFileReader : public TraceSource
     TraceFileReader &operator=(const TraceFileReader &) = delete;
 
     bool next(TraceRecord &rec) override;
+    /** Bulk-read override: one fread for the whole chunk. */
+    size_t nextBatch(TraceRecord *out, size_t n) override;
     void reset() override;
     std::string sourceName() const override { return path_; }
 

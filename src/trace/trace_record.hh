@@ -9,6 +9,7 @@
 #ifndef PVSIM_TRACE_TRACE_RECORD_HH
 #define PVSIM_TRACE_TRACE_RECORD_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -44,6 +45,26 @@ class TraceSource
      * @return false at end-of-trace (synthetic sources are endless).
      */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Produce up to n records into out, in exactly the order (and,
+     * for synthetic sources, from exactly the RNG draws) that n
+     * calls to next() would have produced — a batch is a pure
+     * amortization of the per-record virtual call, never a different
+     * stream. Returns the number produced; fewer than n only at
+     * end-of-trace.
+     *
+     * The default walks next(); generators and file readers override
+     * it with devirtualized / bulk-IO fast paths.
+     */
+    virtual size_t
+    nextBatch(TraceRecord *out, size_t n)
+    {
+        size_t got = 0;
+        while (got < n && next(out[got]))
+            ++got;
+        return got;
+    }
 
     /** Restart from the beginning (same seed / file position). */
     virtual void reset() = 0;
