@@ -190,7 +190,9 @@ benchPacketAlloc(uint64_t iters, unsigned reps)
 struct HarnessResult {
     double serialSecs = 0.0;
     double threadedSecs = 0.0;
-    unsigned jobs = 0;
+    unsigned jobsRequested = 0;
+    unsigned jobsEffective = 0;
+    bool serialFallback = false;
     bool bitIdentical = false;
     double speedup() const
     {
@@ -198,7 +200,15 @@ struct HarnessResult {
     }
 };
 
-/** Threaded matchedPairSpeedup vs. serial, with bit-identity check. */
+/**
+ * Threaded matchedPairSpeedup vs. serial, with bit-identity check.
+ * The "threaded" run requests one worker per batch; the drivers
+ * clamp that to the hardware thread count (an oversubscribed pool
+ * on this container measured 0.77x of serial) and fall back to the
+ * serial path when only one worker survives the clamp — both the
+ * requested and the effective counts are recorded so the JSON says
+ * what was actually measured.
+ */
 HarnessResult
 benchHarness(unsigned batches, uint64_t warmup, uint64_t measure)
 {
@@ -215,8 +225,10 @@ benchHarness(unsigned batches, uint64_t warmup, uint64_t measure)
         matchedPairSpeedup(base, pv, warmup, measure, batches);
     r.serialSecs = secsSince(t0);
 
-    r.jobs = batches;
+    r.jobsRequested = batches;
     setenv("PVSIM_JOBS", std::to_string(batches).c_str(), 1);
+    r.jobsEffective = effectiveHarnessJobs(batches);
+    r.serialFallback = r.jobsEffective <= 1;
     t0 = Clock::now();
     SpeedupResult threaded =
         matchedPairSpeedup(base, pv, warmup, measure, batches);
@@ -276,7 +288,10 @@ main(int argc, char **argv)
     js << "  \"harness_matched_pair\": {\"serial_s\": "
        << harness.serialSecs
        << ", \"threaded_s\": " << harness.threadedSecs
-       << ", \"jobs\": " << harness.jobs
+       << ", \"jobs_requested\": " << harness.jobsRequested
+       << ", \"jobs_effective\": " << harness.jobsEffective
+       << ", \"serial_fallback\": "
+       << (harness.serialFallback ? "true" : "false")
        << ", \"speedup\": " << harness.speedup()
        << ", \"bit_identical\": "
        << (harness.bitIdentical ? "true" : "false") << "}\n}\n";

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "core/virt_engine.hh"
+#include "cpu/btb.hh"
 
 namespace pvsim {
 
@@ -31,11 +32,10 @@ struct VirtBtbParams {
 };
 
 /** Branch PC -> target predictor backed by the memory hierarchy. */
-class VirtualizedBtb : public VirtEngine
+class VirtualizedBtb : public VirtEngine, public BtbPredictor
 {
   public:
-    using LookupCallback =
-        std::function<void(bool found, Addr target)>;
+    using LookupCallback = BtbPredictor::LookupCallback;
 
     /** Register as a tenant of a shared, externally owned proxy. */
     VirtualizedBtb(PvProxy &proxy, const std::string &name,
@@ -46,11 +46,15 @@ class VirtualizedBtb : public VirtEngine
     VirtualizedBtb(SimContext &ctx, const VirtBtbParams &params,
                    Addr pv_start);
 
-    /** Predict the target of the branch at pc. */
-    void lookup(Addr pc, LookupCallback cb);
+    /**
+     * Predict the target of the branch at pc. In timing mode the
+     * callback may fire later (after the PV line fills) or report
+     * not-found when the proxy drops the operation.
+     */
+    void lookup(Addr pc, LookupCallback cb) override;
 
     /** Learn/refresh a branch target. @pre target != 0. */
-    void update(Addr pc, Addr target);
+    void update(Addr pc, Addr target) override;
 
     std::string kindName() const override { return "btb"; }
 

@@ -1,6 +1,5 @@
 #include "cpu/trace_core.hh"
 
-#include "core/virt_btb.hh"
 #include "core/virt_stride.hh"
 #include "mem/packet_pool.hh"
 #include "util/intmath.hh"
@@ -19,6 +18,11 @@ TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
                        "cycles stalled on instruction fetch"),
       storeStallCycles(this, "store_stall_cycles",
                        "cycles stalled on a full store buffer"),
+      mispredictStallCycles(this, "mispredict_stall_cycles",
+                            "cycles stalled on fetch redirects "
+                            "after BTB mispredicts"),
+      fetchRedirects(this, "fetch_redirects",
+                     "fetch-redirect events after BTB mispredicts"),
       loads(this, "loads", "load instructions"),
       stores(this, "stores", "store instructions"),
       takenBranches(this, "taken_branches",
@@ -49,13 +53,26 @@ TraceCore::noteRecordBoundary()
         ++takenBranches;
         if (btb_ && rec_.pc != 0) {
             Addr target = rec_.pc;
+            // Members, not locals: a virtualized BTB may hold the
+            // callback until its PV line fills, long after this
+            // frame returns. The hit/mispredict stats score the
+            // eventual answer; the redirect decision below only
+            // trusts an answer available *now* (at fetch).
+            lookupResolved_ = false;
+            lookupCorrect_ = false;
             btb_->lookup(prevPc_,
                          [this, target](bool found, Addr predicted) {
-                if (found && predicted == target)
+                lookupResolved_ = true;
+                lookupCorrect_ = found && predicted == target;
+                if (lookupCorrect_)
                     ++btbHits;
                 else
                     ++btbMispredicts;
             });
+            if (isTiming() && params_.btbMispredictPenalty > 0 &&
+                !(lookupResolved_ && lookupCorrect_)) {
+                pendingRedirect_ = true;
+            }
             btb_->update(prevPc_, target);
         }
     }
@@ -157,6 +174,15 @@ TraceCore::start(uint64_t max_records)
     maxRecords_ = max_records;
     done_ = false;
     phase_ = Phase::NeedRecord;
+    // A new phase (warmup -> measure) starts with clean branch
+    // reconstruction: the previous phase's last record must not
+    // score a phantom edge — or charge a redirect — against this
+    // phase's first record. Fetch-suppression state
+    // (lastFetchBlock_) is physical and deliberately survives.
+    prevRecordValid_ = false;
+    prevPc_ = 0;
+    prevFallthrough_ = 0;
+    pendingRedirect_ = false;
     schedule(0, [this] { advance(); }, EventQueue::kPrioCpu);
 }
 
@@ -254,6 +280,20 @@ TraceCore::advance()
                 return;
             }
             phase_ = Phase::Fetch;
+            if (pendingRedirect_) {
+                // Mispredicted taken branch: the front end restarts
+                // fetch at the (late) correct target. A distinct
+                // fetchRedirect event — not a cache-miss stall —
+                // resumes the fetch after the penalty.
+                pendingRedirect_ = false;
+                ++fetchRedirects;
+                mispredictStallCycles +=
+                    params_.btbMispredictPenalty;
+                schedule(params_.btbMispredictPenalty,
+                         [this] { advance(); },
+                         EventQueue::kPrioCpu);
+                return;
+            }
             break;
 
           case Phase::Fetch:

@@ -4,14 +4,20 @@
  * instruction-fetch stream from (pc, gap), retires `width`
  * instructions per cycle, stalls on L1D load misses (stall-on-use),
  * and issues stores through a non-blocking store buffer. L1 hits are
- * pipelined (no stall); all timing cost comes from misses, matching
- * how prefetching recovers performance in the paper.
+ * pipelined (no stall); timing cost comes from misses — and, when a
+ * BTB is attached with btbMispredictPenalty > 0, from front-end
+ * redirects after mispredicted taken branches.
  *
- * When a VirtualizedBtb is attached, the core reconstructs taken
+ * When a BtbPredictor is attached (a DedicatedBtb, or a
+ * VirtualizedBtb driving the shared PVProxy — the paper's Section 6
+ * "other existing predictors" path), the core reconstructs taken
  * branches from record boundaries (a record whose pc is not the
  * previous record's fall-through was reached by a taken branch) and
- * drives BTB lookups/updates through the shared PVProxy — the
- * paper's Section 6 "other existing predictors" path, end to end.
+ * predicts/trains through it. In timing mode a mispredict — the
+ * predictor wrong, or unable to answer by fetch time, as a
+ * virtualized BTB waiting on a PV fill is — charges a fetchRedirect
+ * stall of btbMispredictPenalty cycles through the event queue,
+ * tracked separately from load/fetch/store stalls.
  */
 
 #ifndef PVSIM_CPU_TRACE_CORE_HH
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/btb.hh"
 #include "mem/cache.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
@@ -29,7 +36,6 @@
 
 namespace pvsim {
 
-class VirtualizedBtb;
 class VirtualizedStride;
 
 /** Core configuration (paper Table 1, simplified to in-order). */
@@ -42,6 +48,12 @@ struct CoreParams {
     unsigned storeBufferEntries = 8;
     /** Bytes per instruction for the synthetic fetch stream. */
     unsigned instBytes = 4;
+    /**
+     * Front-end stall per mispredicted taken branch (timing mode,
+     * needs an attached BTB). 0 keeps the historical free-branch
+     * timing bit-for-bit.
+     */
+    Cycles btbMispredictPenalty = 0;
 };
 
 /** The core. */
@@ -55,10 +67,11 @@ class TraceCore final : public SimObject, public MemClient
               TraceSource *source, Cache *l1d, Cache *l1i);
 
     /**
-     * Attach a virtualized BTB: every taken branch reconstructed
-     * from the trace is predicted and trained through it.
+     * Attach a BTB (dedicated or virtualized): every taken branch
+     * reconstructed from the trace is predicted and trained
+     * through it.
      */
-    void setBtb(VirtualizedBtb *btb) { btb_ = btb; }
+    void setBtb(BtbPredictor *btb) { btb_ = btb; }
 
     /**
      * Attach a virtualized stride table: every data access is
@@ -122,6 +135,8 @@ class TraceCore final : public SimObject, public MemClient
     stats::Scalar loadStallCycles;
     stats::Scalar fetchStallCycles;
     stats::Scalar storeStallCycles;
+    stats::Scalar mispredictStallCycles;
+    stats::Scalar fetchRedirects; ///< redirect events scheduled
     stats::Scalar loads;
     stats::Scalar stores;
     stats::Scalar takenBranches;   ///< record boundaries not fall-through
@@ -161,13 +176,27 @@ class TraceCore final : public SimObject, public MemClient
     TraceSource *source_;
     Cache *l1d_;
     Cache *l1i_;
-    VirtualizedBtb *btb_ = nullptr;
+    BtbPredictor *btb_ = nullptr;
     VirtualizedStride *stride_ = nullptr;
 
-    /** Branch reconstruction state (see noteRecordBoundary). */
+    /** Branch reconstruction state (see noteRecordBoundary).
+     *  Cleared by start(): a measurement phase must not score or
+     *  charge a phantom branch edge against the previous phase's
+     *  last record. */
     bool prevRecordValid_ = false;
     Addr prevPc_ = 0;          ///< previous record's pc (branch key)
     Addr prevFallthrough_ = 0; ///< pc the next record "should" have
+
+    /**
+     * Redirect bookkeeping for the mispredict penalty: the lookup
+     * callback sets lookupResolved_/lookupCorrect_; a callback
+     * still unresolved when noteRecordBoundary returns (a
+     * virtualized BTB waiting on its PV fill) counts as a
+     * mispredict for timing, whatever it eventually reports.
+     */
+    bool lookupResolved_ = false;
+    bool lookupCorrect_ = false;
+    bool pendingRedirect_ = false;
 
     TraceRecord rec_;
     Phase phase_ = Phase::NeedRecord;

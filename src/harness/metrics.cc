@@ -7,6 +7,8 @@
 #include <functional>
 #include <thread>
 
+#include "util/logging.hh"
+
 namespace pvsim {
 
 unsigned
@@ -22,21 +24,33 @@ harnessJobs()
     return hw ? hw : 1;
 }
 
+unsigned
+effectiveHarnessJobs(unsigned batches)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned jobs = std::min(harnessJobs(), hw);
+    return std::max(1u, std::min(jobs, batches));
+}
+
 namespace {
 
 /**
- * Run body(b) for every batch in [0, batches), sharded over up to
- * harnessJobs() worker threads. Each body(b) call constructs its
- * own System — there is no shared SimContext between batches, by
- * construction — and all batch inputs derive from b alone, so the
- * result vector is bit-identical to a serial loop no matter how
- * many workers run or how the OS schedules them.
+ * Run body(b) for every batch in [0, batches), sharded over
+ * effectiveHarnessJobs(batches) worker threads — PVSIM_JOBS clamped
+ * to the hardware thread count and the batch count, falling back to
+ * a plain serial loop when only one worker would run. Each body(b)
+ * call constructs its own System — there is no shared SimContext
+ * between batches, by construction — and all batch inputs derive
+ * from b alone, so the result vector is bit-identical to a serial
+ * loop no matter how many workers run or how the OS schedules them.
  */
 void
 forEachBatch(unsigned batches,
              const std::function<void(unsigned)> &body)
 {
-    unsigned jobs = std::min(harnessJobs(), batches);
+    unsigned jobs = effectiveHarnessJobs(batches);
     if (jobs <= 1) {
         for (unsigned b = 0; b < batches; ++b)
             body(b);
@@ -187,6 +201,80 @@ matchedPairSpeedup(const SystemConfig &base, const SystemConfig &cfg,
     return speedupOverBaseline(
         baselineIpcs(base, warmup_records, measure_records, batches),
         cfg, warmup_records, measure_records);
+}
+
+SystemConfig
+fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
+           BtbMode mode)
+{
+    SystemConfig cfg;
+    cfg.mode = SimMode::Timing;
+    cfg.numCores = opt.numCores;
+    cfg.workloadMix = mix.workloads;
+    // No data prefetcher: the pair isolates the BTB effect.
+    cfg.prefetch = PrefetchMode::None;
+    cfg.btbMispredictPenalty = opt.penalty;
+    cfg.btb.mode = mode;
+    cfg.btb.numSets = opt.btbSets;
+    cfg.btb.assoc = opt.btbAssoc;
+    // The virtualized table needs its sets inside the per-core PV
+    // reservation; the dedicated side keeps the same value so the
+    // address map (and with it the timing) is identical.
+    cfg.pvBytesPerCore =
+        std::max<uint64_t>(cfg.pvBytesPerCore,
+                           uint64_t(opt.btbSets) * kBlockBytes);
+    return cfg;
+}
+
+std::vector<Fig9Row>
+fig9Sweep(const Fig9Options &opt)
+{
+    pv_assert(opt.batches > 0, "fig9Sweep needs at least one batch");
+    const std::vector<WorkloadMix> mixes =
+        opt.mixes.empty() ? presetMixes() : opt.mixes;
+    const unsigned batches = opt.batches;
+
+    // Every (mix, side, batch) run is a self-contained System, so
+    // flatten them all into one shard: the pool stays busy even
+    // when batches alone are fewer than the workers. Job layout:
+    // mix-major, then side (0 dedicated / 1 virtualized), then
+    // batch; results are bit-identical to the nested serial loops.
+    const unsigned per_mix = 2 * batches;
+    std::vector<double> ipcs(mixes.size() * per_mix, 0.0);
+    forEachBatch(unsigned(ipcs.size()), [&](unsigned j) {
+        const WorkloadMix &mix = mixes[j / per_mix];
+        BtbMode mode = (j / batches) % 2 ? BtbMode::Virtualized
+                                         : BtbMode::Dedicated;
+        SystemConfig cfg = fig9Config(mix, opt, mode);
+        cfg.seedOffset = j % batches;
+        ipcs[j] = timedIpc(cfg, opt.warmupRecords,
+                           opt.measureRecords);
+    });
+
+    std::vector<Fig9Row> rows;
+    rows.reserve(mixes.size());
+    for (size_t m = 0; m < mixes.size(); ++m) {
+        const double *ded = &ipcs[m * per_mix];
+        const double *virt = ded + batches;
+        Fig9Row row;
+        row.mix = mixes[m].name;
+        row.batchPct.resize(batches, 0.0);
+        double ded_sum = 0.0, virt_sum = 0.0;
+        for (unsigned b = 0; b < batches; ++b) {
+            ded_sum += ded[b];
+            virt_sum += virt[b];
+            row.batchPct[b] =
+                ded[b] > 0.0 ? 100.0 * (virt[b] / ded[b] - 1.0)
+                             : 0.0;
+        }
+        row.dedicatedIpc = ded_sum / double(batches);
+        row.virtualizedIpc = virt_sum / double(batches);
+        MeanCi ci = meanCi(row.batchPct);
+        row.speedupPct = ci.mean;
+        row.ciPct = ci.halfWidth;
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 } // namespace pvsim

@@ -10,9 +10,11 @@
 #define PVSIM_HARNESS_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/system.hh"
+#include "trace/workload.hh"
 
 namespace pvsim {
 
@@ -113,17 +115,28 @@ double timedIpc(SystemConfig cfg, uint64_t warmup_records,
                 uint64_t measure_records);
 
 /**
- * Worker threads used by the batch drivers below: the PVSIM_JOBS
- * environment variable when set (>= 1), else the hardware thread
- * count. Each batch runs a fully self-contained System (its own
- * SimContext, event queue and RNGs) and derives its seeds from the
- * batch index alone, so the sharded results are bit-identical to a
- * serial run regardless of the worker count.
+ * Requested worker threads for the batch drivers below: the
+ * PVSIM_JOBS environment variable when set (>= 1), else the
+ * hardware thread count. Each batch runs a fully self-contained
+ * System (its own SimContext, event queue and RNGs) and derives its
+ * seeds from the batch index alone, so the sharded results are
+ * bit-identical to a serial run regardless of the worker count.
  */
 unsigned harnessJobs();
 
+/**
+ * Worker threads the drivers actually spawn for `batches` batches:
+ * harnessJobs() clamped to the hardware thread count (threads
+ * beyond physical cores only add contention — an oversubscribed
+ * pool measured 0.77x of serial) and to the batch count (idle
+ * workers are pure overhead). When this is 1, the drivers take the
+ * serial path outright — no pool, no atomics.
+ */
+unsigned effectiveHarnessJobs(unsigned batches);
+
 /** Matched-pair speedup of cfg vs base over `batches` seed pairs.
- *  Batches are sharded across harnessJobs() worker threads. */
+ *  Batches are sharded across effectiveHarnessJobs(batches)
+ *  worker threads. */
 SpeedupResult matchedPairSpeedup(const SystemConfig &base,
                                  const SystemConfig &cfg,
                                  uint64_t warmup_records,
@@ -133,7 +146,7 @@ SpeedupResult matchedPairSpeedup(const SystemConfig &base,
 /**
  * Baseline IPCs for batches 0..n-1 (seedOffset = batch index),
  * reusable across several matched configurations. Sharded across
- * harnessJobs() worker threads.
+ * effectiveHarnessJobs(batches) worker threads.
  */
 std::vector<double> baselineIpcs(const SystemConfig &base,
                                  uint64_t warmup_records,
@@ -141,11 +154,55 @@ std::vector<double> baselineIpcs(const SystemConfig &base,
                                  unsigned batches);
 
 /** Matched-pair speedup against precomputed baseline IPCs.
- *  Sharded across harnessJobs() worker threads. */
+ *  Sharded across effectiveHarnessJobs() worker threads. */
 SpeedupResult speedupOverBaseline(const std::vector<double> &base_ipcs,
                                   const SystemConfig &cfg,
                                   uint64_t warmup_records,
                                   uint64_t measure_records);
+
+// ---- Figure 9-style BTB virtualization sweep --------------------------
+
+/** Knobs of the dedicated-vs-virtualized BTB IPC experiment. */
+struct Fig9Options {
+    int numCores = 4;
+    /** Capacity-matched BTB geometry for both sides of each pair. */
+    unsigned btbSets = 512;
+    unsigned btbAssoc = 8;
+    /** Front-end redirect cost per mispredict (cycles). */
+    Cycles penalty = 8;
+    uint64_t warmupRecords = 20'000;  ///< per core
+    uint64_t measureRecords = 60'000; ///< per core
+    unsigned batches = 2; ///< matched-pair batches per mix
+    /** Mixes to run; empty means presetMixes(). */
+    std::vector<WorkloadMix> mixes;
+};
+
+/** One mix's matched-pair outcome. */
+struct Fig9Row {
+    std::string mix;
+    double dedicatedIpc = 0.0;   ///< mean aggregate IPC, SRAM BTB
+    double virtualizedIpc = 0.0; ///< mean aggregate IPC, PV BTB
+    double speedupPct = 0.0; ///< virtualized over dedicated (mean)
+    double ciPct = 0.0;      ///< 95% half-width of speedupPct
+    std::vector<double> batchPct;
+};
+
+/**
+ * Config builder for either side of one mix's matched pair: pass
+ * BtbMode::Dedicated or BtbMode::Virtualized. Both sides get the
+ * same (inflated-if-needed) pvBytesPerCore so their address maps —
+ * and with them the timing — are identical.
+ */
+SystemConfig fig9Config(const WorkloadMix &mix,
+                        const Fig9Options &opt, BtbMode mode);
+
+/**
+ * Run the dedicated-vs-virtualized BTB matched pairs over the given
+ * mixes (timing mode, identical seeds per batch, batches sharded
+ * over effectiveHarnessJobs() workers). The result is deterministic
+ * and independent of the worker count.
+ */
+std::vector<Fig9Row> fig9Sweep(const Fig9Options &opt);
 
 } // namespace pvsim
 

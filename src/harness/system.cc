@@ -20,22 +20,41 @@ prefetchModeName(PrefetchMode mode)
     return "unknown";
 }
 
+const char *
+btbModeName(BtbMode mode)
+{
+    switch (mode) {
+      case BtbMode::None: return "none";
+      case BtbMode::Dedicated: return "BTB";
+      case BtbMode::Virtualized: return "BTB-PV";
+    }
+    return "unknown";
+}
+
 std::string
 SystemConfig::label() const
 {
+    std::string base = "unknown";
     switch (prefetch) {
       case PrefetchMode::None:
-        return "baseline";
+        base = "baseline";
+        break;
       case PrefetchMode::SmsInfinite:
-        return "SMS-Infinite";
+        base = "SMS-Infinite";
+        break;
       case PrefetchMode::SmsDedicated:
-        return "SMS-" + phtGeometry.label();
+        base = "SMS-" + phtGeometry.label();
+        break;
       case PrefetchMode::SmsVirtualized:
-        return "SMS-PV" + std::to_string(pvCacheEntries);
+        base = "SMS-PV" + std::to_string(pvCacheEntries);
+        break;
       case PrefetchMode::Stride:
-        return "stride";
+        base = "stride";
+        break;
     }
-    return "unknown";
+    if (btb.mode != BtbMode::None)
+        base += std::string("+") + btbModeName(btb.mode);
+    return base;
 }
 
 System::System(const SystemConfig &cfg)
@@ -80,11 +99,14 @@ System::System(const SystemConfig &cfg)
     l2_ = std::make_unique<Cache>(ctx_, l2p, &addrMap_);
     l2_->setMemSide(dram_.get());
 
-    WorkloadParams wp = workloadPreset(cfg_.workload);
-    wp.seed += cfg_.seedOffset;
-
     for (int c = 0; c < cfg_.numCores; ++c) {
         std::string cn = "core" + std::to_string(c);
+
+        // Per-core preset: heterogeneous multi-programmed mixes run
+        // a different workload on each core (workloadMix), the
+        // historical path feeds every core the same one.
+        WorkloadParams wp = workloadPreset(cfg_.workloadFor(c));
+        wp.seed += cfg_.seedOffset;
 
         CacheParams l1p;
         l1p.sizeBytes = cfg_.l1SizeBytes;
@@ -117,6 +139,7 @@ System::System(const SystemConfig &cfg)
         corep.id = c;
         corep.width = cfg_.coreWidth;
         corep.storeBufferEntries = cfg_.storeBufferEntries;
+        corep.btbMispredictPenalty = cfg_.btbMispredictPenalty;
         auto core = std::make_unique<TraceCore>(
             ctx_, corep, workload.get(), l1d.get(), l1i.get());
 
@@ -186,6 +209,21 @@ System::System(const SystemConfig &cfg)
             core->setBtb(first_btb);
             core->setStride(first_stride);
         }
+
+        // Dedicated-SRAM BTB: the matched-pair partner of the
+        // virtualized arrangement. It takes precedence over any
+        // registry BTB tenant — a config asking for both keeps the
+        // tenant as passive PV storage and fetches through SRAM.
+        std::unique_ptr<DedicatedBtb> dedicated_btb;
+        if (cfg_.btb.mode == BtbMode::Dedicated) {
+            DedicatedBtbParams bp;
+            bp.numSets = cfg_.btb.numSets;
+            bp.assoc = cfg_.btb.assoc;
+            bp.tagBits = cfg_.btb.tagBits;
+            dedicated_btb = std::make_unique<DedicatedBtb>(bp);
+            core->setBtb(dedicated_btb.get());
+        }
+        dedicatedBtbs_.push_back(std::move(dedicated_btb));
 
         switch (cfg_.prefetch) {
           case PrefetchMode::None:
@@ -297,6 +335,14 @@ System::runTiming(uint64_t records_per_core)
                 last_finish = eq.curTick();
             // Keep draining in-flight prefetches and writebacks.
         }
+    }
+    // A drained queue with a core still running means a response
+    // was lost somewhere below — fail loudly instead of returning
+    // a silently truncated (and wildly wrong) measurement.
+    for (auto &core : cores_) {
+        pv_assert(core->done(),
+                  "%s: event queue drained mid-run — lost response",
+                  core->name().c_str());
     }
     return last_finish ? last_finish : eq.curTick();
 }

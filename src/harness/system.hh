@@ -76,6 +76,11 @@ class System
     {
         return findEngine<VirtualizedBtb>(i);
     }
+    /** Dedicated-SRAM BTB of core i (nullptr unless configured). */
+    DedicatedBtb *dedicatedBtb(int i)
+    {
+        return dedicatedBtbs_.at(i).get();
+    }
     /** Virtualized stride table of core i (nullptr unless registered). */
     VirtualizedStride *virtStride(int i)
     {
@@ -129,6 +134,8 @@ class System
     std::vector<std::unique_ptr<Cache>> l1is_;
     std::vector<std::unique_ptr<TraceSource>> workloads_;
     std::vector<std::unique_ptr<TraceCore>> cores_;
+    /** One per core; null entries when btb.mode != Dedicated. */
+    std::vector<std::unique_ptr<DedicatedBtb>> dedicatedBtbs_;
     std::vector<std::unique_ptr<NextLinePrefetcher>> nextLines_;
     std::vector<std::unique_ptr<SmsPrefetcher>> smses_;
     std::vector<std::unique_ptr<StridePrefetcher>> strides_;

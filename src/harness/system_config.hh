@@ -30,6 +30,27 @@ enum class PrefetchMode {
 
 const char *prefetchModeName(PrefetchMode mode);
 
+/** How each core's branch target buffer is provisioned. */
+enum class BtbMode {
+    None,        ///< no BTB (taken branches cost nothing)
+    Dedicated,   ///< conventional on-chip SRAM table
+    Virtualized, ///< PV tenant on the core's shared proxy
+};
+
+const char *btbModeName(BtbMode mode);
+
+/**
+ * BTB arrangement under study. Dedicated and Virtualized share one
+ * geometry so flipping the mode yields a capacity-matched pair —
+ * the Figure 9-style experiment for BTB virtualization.
+ */
+struct BtbConfig {
+    BtbMode mode = BtbMode::None;
+    unsigned numSets = 512;
+    unsigned assoc = 8;
+    unsigned tagBits = 16;
+};
+
 /** Full configuration of one simulated system. */
 struct SystemConfig {
     SimMode mode = SimMode::Functional;
@@ -58,6 +79,16 @@ struct SystemConfig {
     unsigned storeBufferEntries = 8;
     /** Next-line instruction prefetcher per core (Table 1). */
     bool nextLineL1I = true;
+    /**
+     * Front-end stall charged per mispredicted taken branch in
+     * timing mode (needs btb.mode != None). 0 — the default —
+     * keeps branches free, reproducing the historical timing
+     * bit-for-bit; > 0 makes BTB quality (and so BTB
+     * virtualization) visible in IPC.
+     */
+    Cycles btbMispredictPenalty = 0;
+    /** Per-core BTB arrangement (see BtbConfig). */
+    BtbConfig btb;
     /**
      * Records each core consumes per turn of the functional
      * round-robin (runFunctional). Larger chunks amortize dispatch
@@ -103,7 +134,8 @@ struct SystemConfig {
 
     /**
      * The full per-core engine registry: the implicit PHT tenant
-     * (when prefetch == SmsVirtualized) followed by virtEngines.
+     * (when prefetch == SmsVirtualized), the implicit BTB tenant
+     * (when btb.mode == Virtualized), then virtEngines.
      */
     std::vector<VirtEngineConfig>
     engineRegistry() const
@@ -116,6 +148,14 @@ struct SystemConfig {
             pht.assoc = phtGeometry.assoc;
             r.push_back(pht);
         }
+        if (btb.mode == BtbMode::Virtualized) {
+            VirtEngineConfig vb;
+            vb.kind = VirtEngineKind::Btb;
+            vb.numSets = btb.numSets;
+            vb.assoc = btb.assoc;
+            vb.tagBits = btb.tagBits;
+            r.push_back(vb);
+        }
         r.insert(r.end(), virtEngines.begin(), virtEngines.end());
         return r;
     }
@@ -123,6 +163,24 @@ struct SystemConfig {
     // ---- Workload ---------------------------------------------------------
     /** Preset name ("apache", ..., "qry17") fed to every core. */
     std::string workload = "apache";
+    /**
+     * Multi-programmed mix: per-core preset names overriding
+     * `workload` when non-empty. Shorter lists wrap around the
+     * cores (a 2-entry mix on 4 cores alternates), so the preset
+     * mixes compose with any core count. Heterogeneous tenants
+     * sharing the L2 — and the PV space — is what makes shared-L2
+     * PV contention measurable at all.
+     */
+    std::vector<std::string> workloadMix;
+
+    /** Preset feeding core `core` (mix entry, or the shared name). */
+    const std::string &
+    workloadFor(int core) const
+    {
+        if (workloadMix.empty())
+            return workload;
+        return workloadMix[size_t(core) % workloadMix.size()];
+    }
     /** Added to the preset seed (batching / matched pairs). */
     uint64_t seedOffset = 0;
     /**

@@ -654,12 +654,20 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
             ++lateCovered;
         }
         mshr->needsWritable |= pkt->needsWritable();
-        if (pkt->isPrefetch) {
-            // A prefetch joining any in-flight miss is redundant.
+        if (pkt->isPrefetch && pkt->src == nullptr) {
+            // A source-less prefetch joining an in-flight miss is
+            // redundant: the fill is already on its way and nobody
+            // waits on this packet.
             ++prefetchDropped;
             freePacket(pkt);
             return;
         }
+        // Demand requests — and prefetches forwarded from an upper
+        // cache, whose MSHR stays in service until we answer —
+        // queue as targets. Dropping a forwarded prefetch here
+        // stranded the upper MSHR forever: its core deadlocked the
+        // moment it touched that block (found as a once-in-8-runs
+        // hang of the fig9 matched pairs).
         mshr->targets.push_back(pkt);
         return;
     }

@@ -176,6 +176,15 @@ class Cache final : public SimObject, public MemDevice, public MemClient
     /** Outstanding misses (tests / draining). */
     unsigned outstandingMisses() const { return mshrs_.used(); }
 
+    /** The MSHR file (diagnostics: who is stuck on what). */
+    const MshrFile &mshrFile() const { return mshrs_; }
+
+    /** Accepted requests still in the tag-lookup stage. */
+    unsigned pendingLookups() const { return pendingLookups_; }
+
+    /** Downstream requests queued behind backpressure. */
+    size_t sendQueueDepth() const { return sendQueue_.size(); }
+
     /** True when no activity is pending inside the cache. */
     bool quiesced() const;
 

@@ -97,6 +97,9 @@ class MshrFile
         --used_;
     }
 
+    /** All entries, valid or not (diagnostics/debug dumps). */
+    const std::vector<Mshr> &entries() const { return mshrs_; }
+
     /**
      * Storage cost of the MSHR file in bits, for the Section 4.6
      * style accounting: address tag + status bits per entry.

@@ -22,7 +22,27 @@ EventQueue::schedule(Tick when, int priority, std::function<void()> fn)
 void
 EventQueue::cancel(EventId id)
 {
-    pending_.erase(id);
+    if (pending_.erase(id) == 0)
+        return; // already ran (or already cancelled)
+    maybeCompact();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Every heap entry's id was added to pending_ at schedule() and
+    // leaves both structures together (popNext, stale-top discard),
+    // except on cancel — so the dead-entry count is exactly the
+    // size difference.
+    size_t dead = heap_.size() - pending_.size();
+    if (heap_.size() < kCompactMinHeap || dead * 2 <= heap_.size())
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return !pending_.count(e.id);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
 void

@@ -45,7 +45,14 @@ class EventQueue
         return schedule(when, kPrioDefault, std::move(fn));
     }
 
-    /** Cancel a pending event; no-op if it already ran. */
+    /**
+     * Cancel a pending event; no-op if it already ran. Cancellation
+     * is lazy — the heap entry (and its closure) stays until popped
+     * — but the heap is compacted whenever dead entries outnumber
+     * live ones, so cancel-heavy callers cannot grow it without
+     * bound. (No current model cancels events; the bound is for
+     * what speculative timing models will need.)
+     */
     void cancel(EventId id);
 
     /** Current simulated time. */
@@ -62,6 +69,10 @@ class EventQueue
 
     /** Number of pending events. */
     size_t numPending() const { return pending_.size(); }
+
+    /** Heap entries, live plus not-yet-reclaimed cancelled ones
+     *  (observability for the compaction tests). */
+    size_t heapSize() const { return heap_.size(); }
 
     /** Tick of the earliest pending event. @pre !empty(). */
     Tick nextTick() const;
@@ -103,6 +114,12 @@ class EventQueue
 
     /** Pop the earliest live entry into out; false if none. */
     bool popNext(Entry &out);
+
+    /** Drop cancelled entries when they exceed half the heap. */
+    void maybeCompact();
+
+    /** Below this size compaction is not worth the re-heapify. */
+    static constexpr size_t kCompactMinHeap = 64;
 
     std::vector<Entry> heap_;
     std::unordered_set<EventId> pending_;

@@ -91,6 +91,24 @@ WorkloadParams workloadPreset(const std::string &name);
 /** The eight paper workloads, in the paper's presentation order. */
 std::vector<std::string> paperWorkloads();
 
+/**
+ * A named multi-programmed mix: one preset per core (wrapped when
+ * the machine has more cores than entries). Feeds
+ * SystemConfig::workloadMix.
+ */
+struct WorkloadMix {
+    std::string name;
+    std::vector<std::string> workloads;
+};
+
+/**
+ * The standard mixes the Figure 9-style sweeps run: the paper's
+ * workload classes paired homogeneously (web, oltp, dss) and
+ * cross-class (mixed), so shared-L2 contention between
+ * heterogeneous PV tenants is part of the measurement.
+ */
+std::vector<WorkloadMix> presetMixes();
+
 /** One-line description of a preset (Table 2 reproduction). */
 std::string workloadDescription(const std::string &name);
 

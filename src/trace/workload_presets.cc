@@ -170,6 +170,17 @@ paperWorkloads()
             "qry1",   "qry2", "qry16", "qry17"};
 }
 
+std::vector<WorkloadMix>
+presetMixes()
+{
+    return {
+        {"web", {"apache", "zeus"}},
+        {"oltp", {"db2", "oracle"}},
+        {"dss", {"qry1", "qry2", "qry16", "qry17"}},
+        {"mixed", {"apache", "oracle", "qry2", "zeus"}},
+    };
+}
+
 std::string
 workloadDescription(const std::string &name)
 {

@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "harness/metrics.hh"
 #include "harness/system.hh"
@@ -217,6 +219,28 @@ TEST(ThreadedHarnessTest, BaselineIpcsSharded)
     EXPECT_EQ(serial, threaded);
     for (double ipc : serial)
         EXPECT_GT(ipc, 0.0);
+}
+
+TEST(ThreadedHarnessTest, EffectiveJobsAreClamped)
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    // An oversubscribed request is clamped to the hardware (running
+    // more workers than cores measured 0.77x of serial), and idle
+    // workers beyond the batch count are never spawned.
+    setenv("PVSIM_JOBS", "64", 1);
+    EXPECT_EQ(harnessJobs(), 64u) << "the request itself is kept";
+    EXPECT_LE(effectiveHarnessJobs(8), std::min(hw, 8u));
+    EXPECT_EQ(effectiveHarnessJobs(1), 1u)
+        << "one batch always takes the serial path";
+
+    setenv("PVSIM_JOBS", "1", 1);
+    EXPECT_EQ(effectiveHarnessJobs(1000), 1u);
+
+    unsetenv("PVSIM_JOBS");
+    EXPECT_GE(effectiveHarnessJobs(4), 1u);
+    EXPECT_LE(effectiveHarnessJobs(4), std::min(hw, 4u));
 }
 
 TEST(PacketPoolTest, RecyclesStorageAndKeepsLiveCount)

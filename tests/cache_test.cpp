@@ -464,6 +464,41 @@ TEST_F(TimingCacheTest, MshrCoalescesSameBlockMisses)
     EXPECT_EQ(dram.readsApp.value(), 1u);
 }
 
+TEST_F(TimingCacheTest, ForwardedPrefetchCoalescesWithoutStranding)
+{
+    // Regression: a PrefetchReq forwarded from an upper cache (its
+    // MSHR stays in service until answered) used to be *dropped*
+    // when it coalesced onto an in-flight miss for the same block
+    // here — stranding the upper MSHR forever and deadlocking the
+    // core the next time it touched that block.
+    build();
+    CacheParams up;
+    up.name = "l1";
+    up.sizeBytes = 1024;
+    up.assoc = 2;
+    up.tagLatency = 1;
+    up.dataLatency = 1;
+    Cache l1(ctx, up, &amap);
+    l1.setMemSide(cache.get());
+    l1.setLowerSlot(cache->attachClient(&l1));
+
+    // A demand miss for B is in flight below us...
+    ASSERT_TRUE(cache->recvRequest(makeRead(0x5000)));
+    // ...when the upper cache prefetches the same block.
+    ASSERT_TRUE(l1.issuePrefetch(0x5000, 0x42));
+    EXPECT_EQ(l1.outstandingMisses(), 1u);
+
+    ctx.events().runUntil();
+
+    EXPECT_EQ(client.responses.size(), 1u)
+        << "the demand target must still be answered";
+    EXPECT_TRUE(l1.contains(0x5000))
+        << "the forwarded prefetch must be answered and fill";
+    EXPECT_TRUE(l1.quiesced())
+        << "no MSHR may be stranded by coalescing";
+    EXPECT_TRUE(cache->quiesced());
+}
+
 TEST_F(TimingCacheTest, MshrFullRejectsNewBlocks)
 {
     build(2);

@@ -9,6 +9,7 @@
 
 #include <deque>
 
+#include "cpu/btb.hh"
 #include "cpu/trace_core.hh"
 #include "mem/dram.hh"
 
@@ -201,6 +202,66 @@ TEST_F(CpuTest, FullStoreBufferStalls)
     // With one entry the stores serialize.
     EXPECT_GE(ctxp->curTick(), 300u);
     EXPECT_GT(core->storeStallCycles.value(), 0u);
+}
+
+TEST_F(CpuTest, RestartClearsBranchReconstruction)
+{
+    // Warmup ends at one pc, measurement starts at an unrelated
+    // one. Within each phase the records are pure fall-through
+    // (gap 0, instBytes 4 => next pc = pc + 4), so the only branch
+    // edge a phase could score is the phantom one crossing the
+    // warmup->measure boundary — start() must not score it.
+    std::deque<TraceRecord> script;
+    for (int i = 0; i < 5; ++i)
+        script.push_back(rec(0x1000 + Addr(i) * 4, 0x8000, 0));
+    for (int i = 0; i < 5; ++i)
+        script.push_back(rec(0x9000 + Addr(i) * 4, 0x8000, 0));
+    build(std::move(script), SimMode::Timing);
+
+    core->start(5);
+    ctxp->events().runUntil();
+    EXPECT_EQ(core->takenBranches.value(), 0u);
+
+    ctxp->resetStats();
+    core->start(5);
+    ctxp->events().runUntil();
+    EXPECT_EQ(core->recordsConsumed(), 5u);
+    EXPECT_EQ(core->takenBranches.value(), 0u)
+        << "the warmup->measure boundary is not a branch";
+}
+
+TEST_F(CpuTest, MispredictPenaltyChargesRedirects)
+{
+    // Two pcs alternating: every record boundary is a taken branch
+    // with a stable key->target mapping, so the BTB cold-misses
+    // each edge once and hits ever after — both outcomes appear.
+    std::deque<TraceRecord> script;
+    for (int i = 0; i < 12; ++i) {
+        script.push_back(rec(0x1000, 0x8000, 0));
+        script.push_back(rec(0x2000, 0x8000, 0)); // taken edge
+    }
+    build(std::move(script), SimMode::Timing);
+    DedicatedBtb btb(DedicatedBtbParams{16, 2, 16});
+
+    // The fixture core has no penalty knob set; exercise the
+    // penalty path through a second core sharing its caches.
+    CoreParams corep;
+    corep.name = "core_pen";
+    corep.width = 4;
+    corep.btbMispredictPenalty = 9;
+    TraceCore penalized(*ctxp, corep, trace.get(), l1d.get(),
+                        l1i.get());
+    penalized.setBtb(&btb);
+    penalized.start(0);
+    ctxp->events().runUntil();
+
+    EXPECT_GT(penalized.takenBranches.value(), 0u);
+    EXPECT_GT(penalized.btbHits.value(), 0u);
+    EXPECT_GT(penalized.btbMispredicts.value(), 0u);
+    EXPECT_EQ(penalized.fetchRedirects.value(),
+              penalized.btbMispredicts.value());
+    EXPECT_EQ(penalized.mispredictStallCycles.value(),
+              penalized.btbMispredicts.value() * 9u);
 }
 
 TEST_F(CpuTest, GapInstructionsChargeRetireWidth)

@@ -157,6 +157,60 @@ TEST(EventQueue, NextTickSkipsCancelledTop)
     EXPECT_EQ(q.nextTick(), 9u);
 }
 
+TEST(EventQueue, CancelCompactsHeap)
+{
+    EventQueue q;
+    std::vector<EventQueue::EventId> ids;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(q.schedule(Tick(i + 1), [&] { ++fired; }));
+    // Cancel everything but the last ten: the lazy entries must be
+    // compacted away instead of lingering until popped.
+    for (int i = 0; i < 990; ++i)
+        q.cancel(ids[size_t(i)]);
+    EXPECT_EQ(q.numPending(), 10u);
+    EXPECT_LT(q.heapSize(), 128u)
+        << "dead closures must not dominate the heap";
+    q.runUntil();
+    EXPECT_EQ(fired, 10) << "compaction must not drop live events";
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledChurnStaysBounded)
+{
+    // Cancel-heavy churn: schedule, cancel, repeat. Without
+    // compaction the heap grows without bound; with it the
+    // footprint stays a small constant.
+    EventQueue q;
+    auto keeper = q.schedule(1u << 30, [] {});
+    for (int i = 0; i < 100000; ++i) {
+        auto id = q.schedule(Tick(1000000 + i), [] {});
+        q.cancel(id);
+    }
+    EXPECT_EQ(q.numPending(), 1u);
+    EXPECT_LT(q.heapSize(), 128u);
+    q.cancel(keeper);
+    q.runUntil();
+    EXPECT_EQ(q.numExecuted(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndPriorities)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> victims;
+    for (int i = 0; i < 200; ++i)
+        victims.push_back(q.schedule(5, [&] { order.push_back(-1); }));
+    q.schedule(7, EventQueue::kPrioCpu, [&] { order.push_back(3); });
+    q.schedule(7, EventQueue::kPrioResponse,
+               [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(1); });
+    for (auto id : victims)
+        q.cancel(id); // forces at least one compaction
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue q;
