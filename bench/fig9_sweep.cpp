@@ -3,8 +3,11 @@
  * Figure 9-style experiment for BTB virtualization: matched-pair
  * IPC of a dedicated-SRAM BTB vs the same-geometry virtualized BTB
  * (timing mode, btbMispredictPenalty > 0) across the standard
- * multi-programmed preset mixes. This is the first end-to-end path
- * from a virtualized structure to a paper-figure IPC number — the
+ * multi-programmed preset mixes, under the program-structure branch
+ * model (learnable successor edges) — optionally swept over the
+ * edge-stability knob, which walks both BTBs' hit rate from
+ * near-perfect to coin-flip. This is the first end-to-end path from
+ * a virtualized structure to a paper-figure IPC number — the
  * original Figure 9 virtualizes the SMS PHT; this sweep applies the
  * identical methodology to the paper's Section 6 BTB suggestion.
  *
@@ -13,7 +16,8 @@
  *
  *   fig9_sweep [--penalty N] [--btb-sets N] [--batches N]
  *              [--warmup-records N] [--measure-records N]
- *              [--cores N] [--json-out FILE] [--csv] [--smoke]
+ *              [--cores N] [--edge-stability default,0.8,...]
+ *              [--json-out FILE] [--csv] [--smoke]
  */
 
 #include <algorithm>
@@ -47,25 +51,61 @@ main(int argc, char **argv)
     const std::string json_out =
         args.getString("json-out", "BENCH_fig9.json");
 
-    // fig9Sweep shards every (mix, side, batch) System as one job.
+    // Edge-stability sweep: "default" (the mix's own profile) plus
+    // any numeric overrides in [0, 1]. Smoke runs only the default
+    // pass. Malformed values fail loudly instead of aborting.
+    for (const std::string &s : args.getList(
+             "edge-stability",
+             smoke ? std::vector<std::string>{"default"}
+                   : std::vector<std::string>{"default", "0.8",
+                                              "0.5"})) {
+        if (s == "default") {
+            opt.edgeStabilities.push_back(kFig9MixStability);
+            continue;
+        }
+        size_t consumed = 0;
+        double v = -1.0;
+        try {
+            v = std::stod(s, &consumed);
+        } catch (const std::exception &) {
+        }
+        // !(in-range) rather than out-of-range tests: NaN compares
+        // false to everything and must be rejected too.
+        if (consumed != s.size() || !(v >= 0.0 && v <= 1.0)) {
+            std::cerr << "fig9_sweep: bad --edge-stability value '"
+                      << s << "' (want \"default\" or a number in "
+                      << "[0, 1])\n";
+            return 2;
+        }
+        opt.edgeStabilities.push_back(v);
+    }
+
+    // fig9Sweep shards every (stability, mix, side, batch) System
+    // as one job.
     const unsigned total_jobs =
-        unsigned(presetMixes().size()) * 2 * opt.batches;
+        unsigned(presetMixes().size() * opt.edgeStabilities.size()) *
+        2 * opt.batches;
     const unsigned jobs_effective = effectiveHarnessJobs(total_jobs);
 
     std::cout << "Figure 9 (BTB): dedicated-SRAM vs virtualized BTB "
               << "matched pairs, penalty=" << opt.penalty
               << " cycles, " << opt.btbSets << "x" << opt.btbAssoc
-              << " BTB, " << opt.batches << " batches, jobs="
-              << jobs_effective << "\n\n";
+              << " BTB, " << opt.batches << " batches, "
+              << opt.edgeStabilities.size()
+              << " stability passes, jobs=" << jobs_effective
+              << "\n\n";
 
     std::vector<Fig9Row> rows = fig9Sweep(opt);
 
     TextTable t;
-    t.setColumns({"mix", "dedicated IPC", "virtualized IPC",
-                  "speedup"});
+    t.setColumns({"mix", "stability", "ded IPC", "virt IPC",
+                  "ded hit", "virt hit", "speedup"});
     for (const Fig9Row &r : rows) {
-        t.addRow({r.mix, fmtDouble(r.dedicatedIpc, 4),
+        t.addRow({r.mix, fmtDouble(r.edgeStability, 2),
+                  fmtDouble(r.dedicatedIpc, 4),
                   fmtDouble(r.virtualizedIpc, 4),
+                  fmtDouble(r.dedicatedHitPct, 1) + "%",
+                  fmtDouble(r.virtualizedHitPct, 1) + "%",
                   fmtDouble(r.speedupPct, 2) + "+/-" +
                       fmtDouble(r.ciPct, 2) + "%"});
     }
@@ -84,33 +124,52 @@ main(int argc, char **argv)
        << "  \"warmup_records\": " << opt.warmupRecords << ",\n"
        << "  \"measure_records\": " << opt.measureRecords << ",\n"
        << "  \"jobs_effective\": " << jobs_effective << ",\n"
-       << "  \"mixes\": {\n";
+       << "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Fig9Row &r = rows[i];
-        js << "    \"" << r.mix << "\": {\"dedicated_ipc\": "
-           << r.dedicatedIpc << ", \"virtualized_ipc\": "
-           << r.virtualizedIpc << ", \"speedup_pct\": "
-           << r.speedupPct << ", \"ci_pct\": " << r.ciPct << "}"
+        js << "    {\"mix\": \"" << r.mix
+           << "\", \"edge_stability\": " << r.edgeStability
+           << ", \"dedicated_ipc\": " << r.dedicatedIpc
+           << ", \"virtualized_ipc\": " << r.virtualizedIpc
+           << ", \"dedicated_hit_pct\": " << r.dedicatedHitPct
+           << ", \"virtualized_hit_pct\": " << r.virtualizedHitPct
+           << ", \"speedup_pct\": " << r.speedupPct
+           << ", \"ci_pct\": " << r.ciPct << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    js << "  }\n}\n";
+    js << "  ]\n}\n";
 
     std::cout << "\n" << js.str();
     std::ofstream out(json_out);
     out << js.str();
 
     std::cout << "Reading: speedup < 0 means virtualizing the BTB "
-                 "costs IPC at this penalty — unavailable "
-                 "predictions (PVCache misses waiting on L2 fills) "
-                 "charge the same redirect as wrong ones. The "
+                 "costs IPC at this penalty. With learnable branch "
+                 "streams the dedicated side converts its hit rate "
+                 "into avoided redirects, while the virtualized "
+                 "side still pays for predictions not available at "
+                 "fetch (PVCache misses waiting on L2 fills) — the "
                  "matched pair shares seeds, so the delta is the "
-                 "virtualization cost, not workload noise.\n";
+                 "virtualization cost, not workload noise. Lower "
+                 "edge stability drags both hit rates down and "
+                 "shrinks the gap.\n";
 
-    // Sanity for CI: every pair must have produced real IPCs.
+    // Sanity for CI: every pair must have produced real IPCs, and
+    // high-stability passes must show a learnable dedicated BTB —
+    // the regression this sweep exists to catch is the hit rate
+    // silently collapsing back to the flat-stream few percent.
     for (const Fig9Row &r : rows) {
         if (r.dedicatedIpc <= 0.0 || r.virtualizedIpc <= 0.0) {
             std::cerr << "FAIL: mix " << r.mix
                       << " produced a zero IPC\n";
+            return 1;
+        }
+        if (r.edgeStability >= 0.9 && r.dedicatedHitPct < 60.0) {
+            std::cerr << "FAIL: mix " << r.mix << " at stability "
+                      << r.edgeStability << " hit only "
+                      << r.dedicatedHitPct
+                      << "% — the branch stream is no longer "
+                         "learnable\n";
             return 1;
         }
     }

@@ -187,6 +187,42 @@ benchPacketAlloc(uint64_t iters, unsigned reps)
     return p;
 }
 
+/**
+ * Payload (Packet::Data) allocation: heap make_unique churn vs. the
+ * pool's recycled buffers — the shape of PV traffic, where most
+ * packets carry a 64-byte payload for exactly one hop.
+ */
+Pair
+benchPayloadAlloc(uint64_t iters, unsigned reps)
+{
+    constexpr size_t kBurst = 64;
+    Pair p;
+    double s = bestOf(reps, [&] {
+        std::vector<std::unique_ptr<Packet::Data>> live(kBurst);
+        for (uint64_t i = 0; i < iters; i += kBurst) {
+            for (auto &d : live) {
+                d = std::make_unique<Packet::Data>();
+                d->fill(0);
+            }
+            for (auto &d : live)
+                d.reset();
+        }
+    });
+    p.baseRate = double(iters) / s;
+    s = bestOf(reps, [&] {
+        std::vector<Packet::DataPtr> live(kBurst);
+        auto &pool = PacketPool::local();
+        for (uint64_t i = 0; i < iters; i += kBurst) {
+            for (auto &d : live)
+                d.reset(pool.allocData());
+            for (auto &d : live)
+                d.reset();
+        }
+    });
+    p.fastRate = double(iters) / s;
+    return p;
+}
+
 struct HarnessResult {
     double serialSecs = 0.0;
     double threadedSecs = 0.0;
@@ -207,7 +243,8 @@ struct HarnessResult {
  * on this container measured 0.77x of serial) and fall back to the
  * serial path when only one worker survives the clamp — both the
  * requested and the effective counts are recorded so the JSON says
- * what was actually measured.
+ * what was actually measured. Any ambient PVSIM_JOBS (CI sets one)
+ * is restored afterwards, not clobbered.
  */
 HarnessResult
 benchHarness(unsigned batches, uint64_t warmup, uint64_t measure)
@@ -217,6 +254,9 @@ benchHarness(unsigned batches, uint64_t warmup, uint64_t measure)
     base.prefetch = PrefetchMode::None;
     SystemConfig pv = base;
     pv.prefetch = PrefetchMode::SmsVirtualized;
+
+    const char *ambient_env = std::getenv("PVSIM_JOBS");
+    const std::string ambient = ambient_env ? ambient_env : "";
 
     HarnessResult r;
     setenv("PVSIM_JOBS", "1", 1);
@@ -233,7 +273,10 @@ benchHarness(unsigned batches, uint64_t warmup, uint64_t measure)
     SpeedupResult threaded =
         matchedPairSpeedup(base, pv, warmup, measure, batches);
     r.threadedSecs = secsSince(t0);
-    unsetenv("PVSIM_JOBS");
+    if (ambient_env)
+        setenv("PVSIM_JOBS", ambient.c_str(), 1);
+    else
+        unsetenv("PVSIM_JOBS");
 
     r.bitIdentical = serial.meanPct == threaded.meanPct &&
                      serial.ciPct == threaded.ciPct &&
@@ -272,19 +315,32 @@ main(int argc, char **argv)
     const std::string json_out =
         args.getString("json-out", "BENCH_stepping.json");
 
+    // The environment's worker request (PVSIM_JOBS or the hardware
+    // count), captured before benchHarness overrides the variable:
+    // the CI smoke exports PVSIM_JOBS, and the artifact must say
+    // what parallelism the run was given vs. what survived the
+    // clamp.
+    const unsigned env_jobs_requested = harnessJobs();
+    const unsigned env_jobs_effective =
+        effectiveHarnessJobs(batches);
+
     Pair stepping = benchStepping(records, reps);
     Pair gen = benchTraceGen(records, reps);
     Pair file = benchTraceFile(std::min<uint64_t>(records, 500'000),
                                reps);
     Pair alloc = benchPacketAlloc(alloc_iters, reps);
+    Pair payload = benchPayloadAlloc(alloc_iters, reps);
     HarnessResult harness = benchHarness(batches, warmup, measure);
 
     std::ostringstream js;
-    js << "{\n  \"bench\": \"micro_stepping\",\n";
+    js << "{\n  \"bench\": \"micro_stepping\",\n"
+       << "  \"jobs_requested\": " << env_jobs_requested << ",\n"
+       << "  \"jobs_effective\": " << env_jobs_effective << ",\n";
     emitPair(js, "step_functional", stepping, "recs_per_s");
     emitPair(js, "trace_gen", gen, "recs_per_s");
     emitPair(js, "trace_file_replay", file, "recs_per_s");
     emitPair(js, "packet_alloc", alloc, "allocs_per_s");
+    emitPair(js, "payload_alloc", payload, "allocs_per_s");
     js << "  \"harness_matched_pair\": {\"serial_s\": "
        << harness.serialSecs
        << ", \"threaded_s\": " << harness.threadedSecs

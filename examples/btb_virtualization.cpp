@@ -123,7 +123,9 @@ main(int argc, char **argv)
         opt.warmupRecords = 2'000;
         opt.measureRecords = 10'000;
         opt.batches = 2;
-        opt.mixes = {{workload, {workload}}};
+        // Single-preset mini-mix; borrow the "web" branch profile
+        // so the demo runs on learnable successor edges.
+        opt.mixes = {{workload, {workload}, presetMixes()[0].branch}};
         Fig9Row r = fig9Sweep(opt).at(0);
         std::cout << "  dedicated SRAM BTB : IPC "
                   << fmtDouble(r.dedicatedIpc, 4)

@@ -36,8 +36,10 @@ VirtualizedBtb::VirtualizedBtb(SimContext &ctx,
 void
 VirtualizedBtb::lookup(Addr pc, LookupCallback cb)
 {
-    table().find(keyOf(pc), [cb = std::move(cb)](bool found,
-                                                 uint64_t payload) {
+    table().find(keyOf(pc),
+                 [this, cb = std::move(cb)](bool found,
+                                            uint64_t payload) {
+        noteLookup(found);
         cb(found, Addr(payload) << 2);
     });
 }

@@ -9,6 +9,7 @@ virtEngineKindName(VirtEngineKind kind)
       case VirtEngineKind::Pht: return "pht";
       case VirtEngineKind::Btb: return "btb";
       case VirtEngineKind::Stride: return "stride";
+      case VirtEngineKind::Agt: return "agt";
     }
     return "unknown";
 }

@@ -23,7 +23,7 @@
 namespace pvsim {
 
 /** Kinds of engines the System registry can instantiate. */
-enum class VirtEngineKind { Pht, Btb, Stride };
+enum class VirtEngineKind { Pht, Btb, Stride, Agt };
 
 const char *virtEngineKindName(VirtEngineKind kind);
 

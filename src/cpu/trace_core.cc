@@ -1,5 +1,6 @@
 #include "cpu/trace_core.hh"
 
+#include "core/virt_agt.hh"
 #include "core/virt_stride.hh"
 #include "mem/packet_pool.hh"
 #include "util/intmath.hh"
@@ -27,6 +28,12 @@ TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
       stores(this, "stores", "store instructions"),
       takenBranches(this, "taken_branches",
                     "taken branches reconstructed from the trace"),
+      callBranches(this, "call_branches",
+                   "taken branches annotated as calls"),
+      returnBranches(this, "return_branches",
+                     "taken branches annotated as returns"),
+      loopBranches(this, "loop_branches",
+                   "taken branches annotated as loop back-edges"),
       btbHits(this, "btb_hits",
               "taken branches whose target the BTB predicted"),
       btbMispredicts(this, "btb_mispredicts",
@@ -43,14 +50,27 @@ TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
 void
 TraceCore::noteRecordBoundary()
 {
-    // A record starting off the previous record's fall-through path
-    // was reached by a taken branch. The branch is keyed by the
-    // previous record's (stable) memory-instruction pc — not the
-    // gap-dependent last-instruction address, whose per-record
-    // randomness in synthetic streams would make keys unlearnable —
-    // and its target is this record's pc.
-    if (prevRecordValid_ && rec_.pc != prevFallthrough_) {
+    // How was this record reached? Annotated streams (the
+    // program-structure generator, annotated trace files) say so
+    // explicitly — a real successor edge, not a reconstruction.
+    // Unannotated streams fall back to the historical boundary
+    // heuristic: a record starting off the previous record's
+    // fall-through path was reached by a taken branch. Either way
+    // the branch is keyed by the previous record's (stable)
+    // memory-instruction pc — not the gap-dependent
+    // last-instruction address — and its target is this record's
+    // pc.
+    const bool taken = rec_.edge == BranchEdge::None
+                           ? rec_.pc != prevFallthrough_
+                           : isTakenEdge(rec_.edge);
+    if (prevRecordValid_ && taken) {
         ++takenBranches;
+        switch (rec_.edge) {
+          case BranchEdge::Call: ++callBranches; break;
+          case BranchEdge::Ret: ++returnBranches; break;
+          case BranchEdge::Loop: ++loopBranches; break;
+          default: break;
+        }
         if (btb_ && rec_.pc != 0) {
             Addr target = rec_.pc;
             // Members, not locals: a virtualized BTB may hold the
@@ -95,6 +115,9 @@ TraceCore::noteRecordBoundary()
         });
         stride_->observe(rec_.pc, rec_.addr);
     }
+
+    if (agt_)
+        agt_->observe(rec_.pc, rec_.addr);
 }
 
 // -----------------------------------------------------------------------

@@ -36,6 +36,7 @@
 
 namespace pvsim {
 
+class VirtualizedAgt;
 class VirtualizedStride;
 
 /** Core configuration (paper Table 1, simplified to in-order). */
@@ -80,6 +81,13 @@ class TraceCore final : public SimObject, public MemClient
      */
     void setStride(VirtualizedStride *stride) { stride_ = stride; }
 
+    /**
+     * Attach a virtualized AGT: every data access is observed
+     * through it (read-modify-write PV traffic; the accumulated
+     * generations feed its sink, when one is set).
+     */
+    void setAgt(VirtualizedAgt *agt) { agt_ = agt; }
+
     // ---- Functional mode -------------------------------------------
 
     /**
@@ -121,6 +129,16 @@ class TraceCore final : public SimObject, public MemClient
     }
     uint64_t recordsConsumed() const { return records.value(); }
 
+    /** Fraction of taken branches whose target the BTB predicted
+     *  (0 when no taken branch was scored yet). */
+    double
+    btbHitRate() const
+    {
+        uint64_t scored = btbHits.value() + btbMispredicts.value();
+        return scored ? double(btbHits.value()) / double(scored)
+                      : 0.0;
+    }
+
     /** Aggregate IPC since the last stats reset (timing mode). */
     double
     ipc(Tick elapsed) const
@@ -140,6 +158,9 @@ class TraceCore final : public SimObject, public MemClient
     stats::Scalar loads;
     stats::Scalar stores;
     stats::Scalar takenBranches;   ///< record boundaries not fall-through
+    stats::Scalar callBranches;    ///< ... of which annotated calls
+    stats::Scalar returnBranches;  ///< ... of which annotated returns
+    stats::Scalar loopBranches;    ///< ... of which loop back-edges
     stats::Scalar btbHits;         ///< BTB predicted the right target
     stats::Scalar btbMispredicts;  ///< BTB missed or predicted wrong
     stats::Scalar stridePredicts;  ///< confident stride predictions
@@ -178,6 +199,7 @@ class TraceCore final : public SimObject, public MemClient
     Cache *l1i_;
     BtbPredictor *btb_ = nullptr;
     VirtualizedStride *stride_ = nullptr;
+    VirtualizedAgt *agt_ = nullptr;
 
     /** Branch reconstruction state (see noteRecordBoundary).
      *  Cleared by start(): a measurement phase must not score or

@@ -141,8 +141,8 @@ meanCi(const std::vector<double> &samples)
     return r;
 }
 
-double
-timedIpc(SystemConfig cfg, uint64_t warmup_records,
+TimedRun
+timedRun(SystemConfig cfg, uint64_t warmup_records,
          uint64_t measure_records)
 {
     cfg.mode = SimMode::Timing;
@@ -152,7 +152,21 @@ timedIpc(SystemConfig cfg, uint64_t warmup_records,
     Tick start = sys.ctx().curTick();
     sys.resetStats();
     Tick finish = sys.runTiming(measure_records);
-    return aggregateIpc(sys.totalInstructions(), finish - start);
+    TimedRun r;
+    r.ipc = aggregateIpc(sys.totalInstructions(), finish - start);
+    for (int c = 0; c < sys.numCores(); ++c) {
+        r.btbHits += sys.core(c).btbHits.value();
+        r.btbMispredicts += sys.core(c).btbMispredicts.value();
+    }
+    return r;
+}
+
+double
+timedIpc(SystemConfig cfg, uint64_t warmup_records,
+         uint64_t measure_records)
+{
+    return timedRun(std::move(cfg), warmup_records, measure_records)
+        .ipc;
 }
 
 std::vector<double>
@@ -203,14 +217,43 @@ matchedPairSpeedup(const SystemConfig &base, const SystemConfig &cfg,
         cfg, warmup_records, measure_records);
 }
 
+namespace {
+
+/**
+ * The successor-edge stability a (mix, requested-override) pair
+ * actually runs — the single source of truth for fig9Config (what
+ * the Systems execute) and fig9Sweep's row labels (what the
+ * artifact reports): 0 for a mix without a branch profile (flat
+ * streams — any override is meaningless), else the override, else
+ * the mix's own value.
+ */
+double
+fig9EffectiveStability(const WorkloadMix &mix, double requested)
+{
+    if (!mix.branch.enabled)
+        return 0.0;
+    return requested >= 0.0 ? requested
+                            : mix.branch.edgeStability;
+}
+
+} // anonymous namespace
+
 SystemConfig
 fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
-           BtbMode mode)
+           BtbMode mode, double edge_stability)
 {
     SystemConfig cfg;
     cfg.mode = SimMode::Timing;
     cfg.numCores = opt.numCores;
     cfg.workloadMix = mix.workloads;
+    // The mix's control-flow profile makes the branch stream
+    // learnable; a sweep value overrides its stability so the
+    // experiment can walk hit rate from near-perfect to coin-flip.
+    cfg.branchProfile = mix.branch;
+    if (mix.branch.enabled) {
+        cfg.branchProfile.edgeStability =
+            fig9EffectiveStability(mix, edge_stability);
+    }
     // No data prefetcher: the pair isolates the BTB effect.
     cfg.prefetch = PrefetchMode::None;
     cfg.btbMispredictPenalty = opt.penalty;
@@ -232,47 +275,70 @@ fig9Sweep(const Fig9Options &opt)
     pv_assert(opt.batches > 0, "fig9Sweep needs at least one batch");
     const std::vector<WorkloadMix> mixes =
         opt.mixes.empty() ? presetMixes() : opt.mixes;
+    const std::vector<double> stabilities =
+        opt.edgeStabilities.empty()
+            ? std::vector<double>{kFig9MixStability}
+            : opt.edgeStabilities;
     const unsigned batches = opt.batches;
 
-    // Every (mix, side, batch) run is a self-contained System, so
-    // flatten them all into one shard: the pool stays busy even
-    // when batches alone are fewer than the workers. Job layout:
-    // mix-major, then side (0 dedicated / 1 virtualized), then
-    // batch; results are bit-identical to the nested serial loops.
+    // Every (stability, mix, side, batch) run is a self-contained
+    // System, so flatten them all into one shard: the pool stays
+    // busy even when batches alone are fewer than the workers. Job
+    // layout: stability-major, then mix, then side (0 dedicated /
+    // 1 virtualized), then batch; results are bit-identical to the
+    // nested serial loops.
     const unsigned per_mix = 2 * batches;
-    std::vector<double> ipcs(mixes.size() * per_mix, 0.0);
-    forEachBatch(unsigned(ipcs.size()), [&](unsigned j) {
-        const WorkloadMix &mix = mixes[j / per_mix];
+    const unsigned per_stab = unsigned(mixes.size()) * per_mix;
+    std::vector<TimedRun> runs(stabilities.size() * per_stab);
+    forEachBatch(unsigned(runs.size()), [&](unsigned j) {
+        const double stability = stabilities[j / per_stab];
+        const WorkloadMix &mix =
+            mixes[(j % per_stab) / per_mix];
         BtbMode mode = (j / batches) % 2 ? BtbMode::Virtualized
                                          : BtbMode::Dedicated;
-        SystemConfig cfg = fig9Config(mix, opt, mode);
+        SystemConfig cfg = fig9Config(mix, opt, mode, stability);
         cfg.seedOffset = j % batches;
-        ipcs[j] = timedIpc(cfg, opt.warmupRecords,
+        runs[j] = timedRun(cfg, opt.warmupRecords,
                            opt.measureRecords);
     });
 
     std::vector<Fig9Row> rows;
-    rows.reserve(mixes.size());
-    for (size_t m = 0; m < mixes.size(); ++m) {
-        const double *ded = &ipcs[m * per_mix];
-        const double *virt = ded + batches;
-        Fig9Row row;
-        row.mix = mixes[m].name;
-        row.batchPct.resize(batches, 0.0);
-        double ded_sum = 0.0, virt_sum = 0.0;
-        for (unsigned b = 0; b < batches; ++b) {
-            ded_sum += ded[b];
-            virt_sum += virt[b];
-            row.batchPct[b] =
-                ded[b] > 0.0 ? 100.0 * (virt[b] / ded[b] - 1.0)
-                             : 0.0;
+    rows.reserve(stabilities.size() * mixes.size());
+    for (size_t s = 0; s < stabilities.size(); ++s) {
+        for (size_t m = 0; m < mixes.size(); ++m) {
+            const TimedRun *ded =
+                &runs[s * per_stab + m * per_mix];
+            const TimedRun *virt = ded + batches;
+            Fig9Row row;
+            row.mix = mixes[m].name;
+            // Same resolution fig9Config applied: the label always
+            // matches what the Systems ran (0 = flat-stream pass).
+            row.edgeStability =
+                fig9EffectiveStability(mixes[m], stabilities[s]);
+            row.batchPct.resize(batches, 0.0);
+            double ded_sum = 0.0, virt_sum = 0.0;
+            TimedRun ded_all, virt_all;
+            for (unsigned b = 0; b < batches; ++b) {
+                ded_sum += ded[b].ipc;
+                virt_sum += virt[b].ipc;
+                ded_all.btbHits += ded[b].btbHits;
+                ded_all.btbMispredicts += ded[b].btbMispredicts;
+                virt_all.btbHits += virt[b].btbHits;
+                virt_all.btbMispredicts += virt[b].btbMispredicts;
+                row.batchPct[b] =
+                    ded[b].ipc > 0.0
+                        ? 100.0 * (virt[b].ipc / ded[b].ipc - 1.0)
+                        : 0.0;
+            }
+            row.dedicatedIpc = ded_sum / double(batches);
+            row.virtualizedIpc = virt_sum / double(batches);
+            row.dedicatedHitPct = 100.0 * ded_all.btbHitRate();
+            row.virtualizedHitPct = 100.0 * virt_all.btbHitRate();
+            MeanCi ci = meanCi(row.batchPct);
+            row.speedupPct = ci.mean;
+            row.ciPct = ci.halfWidth;
+            rows.push_back(std::move(row));
         }
-        row.dedicatedIpc = ded_sum / double(batches);
-        row.virtualizedIpc = virt_sum / double(batches);
-        MeanCi ci = meanCi(row.batchPct);
-        row.speedupPct = ci.mean;
-        row.ciPct = ci.halfWidth;
-        rows.push_back(std::move(row));
     }
     return rows;
 }

@@ -108,9 +108,29 @@ struct SpeedupResult {
     std::vector<double> batchPct;
 };
 
-/** One timing run: warmup, reset stats, measure; returns IPC.
+/** Everything one timing run reports (fig9-style sweeps want the
+ *  BTB scoring alongside the IPC). */
+struct TimedRun {
+    double ipc = 0.0;
+    uint64_t btbHits = 0;        ///< summed over cores, measure phase
+    uint64_t btbMispredicts = 0;
+
+    /** Taken-branch target hit rate of the attached BTBs. */
+    double
+    btbHitRate() const
+    {
+        uint64_t scored = btbHits + btbMispredicts;
+        return scored ? double(btbHits) / double(scored) : 0.0;
+    }
+};
+
+/** One timing run: warmup, reset stats, measure.
  *  Takes cfg by value: this IS the per-run copy that the batch
  *  drivers mutate (mode, seedOffset) for one run. */
+TimedRun timedRun(SystemConfig cfg, uint64_t warmup_records,
+                  uint64_t measure_records);
+
+/** timedRun(), keeping only the IPC (the batch drivers' unit). */
 double timedIpc(SystemConfig cfg, uint64_t warmup_records,
                 uint64_t measure_records);
 
@@ -162,6 +182,12 @@ SpeedupResult speedupOverBaseline(const std::vector<double> &base_ipcs,
 
 // ---- Figure 9-style BTB virtualization sweep --------------------------
 
+/**
+ * Sentinel for Fig9Options::edgeStabilities: run the mix's own
+ * branch-profile stability (the recorded default).
+ */
+constexpr double kFig9MixStability = -1.0;
+
 /** Knobs of the dedicated-vs-virtualized BTB IPC experiment. */
 struct Fig9Options {
     int numCores = 4;
@@ -175,15 +201,29 @@ struct Fig9Options {
     unsigned batches = 2; ///< matched-pair batches per mix
     /** Mixes to run; empty means presetMixes(). */
     std::vector<WorkloadMix> mixes;
+    /**
+     * Successor-edge stabilities to sweep: each value overrides the
+     * mixes' branch-profile stability for one pass over all mixes
+     * (kFig9MixStability keeps the mix's own value). Empty means
+     * {kFig9MixStability} — one pass at the recorded defaults.
+     */
+    std::vector<double> edgeStabilities;
 };
 
-/** One mix's matched-pair outcome. */
+/** One (mix, stability) matched-pair outcome. */
 struct Fig9Row {
     std::string mix;
+    /** Effective successor-edge stability of this pass; 0 when the
+     *  mix carries no branch profile (flat streams — any requested
+     *  override is meaningless and was not applied). */
+    double edgeStability = 0.0;
     double dedicatedIpc = 0.0;   ///< mean aggregate IPC, SRAM BTB
     double virtualizedIpc = 0.0; ///< mean aggregate IPC, PV BTB
     double speedupPct = 0.0; ///< virtualized over dedicated (mean)
     double ciPct = 0.0;      ///< 95% half-width of speedupPct
+    /** Taken-branch target hit rates (batch-aggregated). */
+    double dedicatedHitPct = 0.0;
+    double virtualizedHitPct = 0.0;
     std::vector<double> batchPct;
 };
 
@@ -191,10 +231,13 @@ struct Fig9Row {
  * Config builder for either side of one mix's matched pair: pass
  * BtbMode::Dedicated or BtbMode::Virtualized. Both sides get the
  * same (inflated-if-needed) pvBytesPerCore so their address maps —
- * and with them the timing — are identical.
+ * and with them the timing — are identical. The mix's branch
+ * profile is installed (learnable streams); edge_stability
+ * overrides its stability unless it is kFig9MixStability.
  */
 SystemConfig fig9Config(const WorkloadMix &mix,
-                        const Fig9Options &opt, BtbMode mode);
+                        const Fig9Options &opt, BtbMode mode,
+                        double edge_stability = kFig9MixStability);
 
 /**
  * Run the dedicated-vs-virtualized BTB matched pairs over the given

@@ -104,9 +104,12 @@ System::System(const SystemConfig &cfg)
 
         // Per-core preset: heterogeneous multi-programmed mixes run
         // a different workload on each core (workloadMix), the
-        // historical path feeds every core the same one.
+        // historical path feeds every core the same one. The
+        // config's branch profile (if enabled) layers the
+        // control-flow model on top of the preset's data streams.
         WorkloadParams wp = workloadPreset(cfg_.workloadFor(c));
         wp.seed += cfg_.seedOffset;
+        cfg_.branchProfile.applyTo(wp);
 
         CacheParams l1p;
         l1p.sizeBytes = cfg_.l1SizeBytes;
@@ -173,6 +176,7 @@ System::System(const SystemConfig &cfg)
             // tenants are passive storage tenants.
             VirtualizedBtb *first_btb = nullptr;
             VirtualizedStride *first_stride = nullptr;
+            VirtualizedAgt *first_agt = nullptr;
             for (const auto &ec : registry) {
                 switch (ec.kind) {
                   case VirtEngineKind::Pht: {
@@ -204,10 +208,23 @@ System::System(const SystemConfig &cfg)
                     engines.push_back(std::move(e));
                     break;
                   }
+                  case VirtEngineKind::Agt: {
+                    VirtAgtParams ap;
+                    ap.numSets = ec.numSets;
+                    ap.assoc = ec.assoc;
+                    ap.tagBits = ec.tagBits;
+                    auto e = std::make_unique<VirtualizedAgt>(
+                        *pvproxy, ec.scopeName(), ap);
+                    if (!first_agt)
+                        first_agt = e.get();
+                    engines.push_back(std::move(e));
+                    break;
+                  }
                 }
             }
             core->setBtb(first_btb);
             core->setStride(first_stride);
+            core->setAgt(first_agt);
         }
 
         // Dedicated-SRAM BTB: the matched-pair partner of the
@@ -345,6 +362,22 @@ System::runTiming(uint64_t records_per_core)
                   core->name().c_str());
     }
     return last_finish ? last_finish : eq.curTick();
+}
+
+void
+System::resetStats()
+{
+    ctx_.resetStats();
+    for (auto &btb : dedicatedBtbs_) {
+        if (btb)
+            btb->resetLookupStats();
+    }
+    for (auto &engines : engines_) {
+        for (auto &e : engines) {
+            if (auto *vb = dynamic_cast<VirtualizedBtb *>(e.get()))
+                vb->resetLookupStats();
+        }
+    }
 }
 
 uint64_t

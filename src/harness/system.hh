@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/virt_agt.hh"
 #include "core/virt_btb.hh"
 #include "core/virt_pht.hh"
 #include "core/virt_stride.hh"
@@ -86,6 +87,11 @@ class System
     {
         return findEngine<VirtualizedStride>(i);
     }
+    /** Virtualized AGT of core i (nullptr unless registered). */
+    VirtualizedAgt *virtAgt(int i)
+    {
+        return findEngine<VirtualizedAgt>(i);
+    }
     /** The PHT (any kind) of core i, or nullptr. */
     PatternHistoryTable *pht(int i) { return phts_.at(i); }
 
@@ -102,8 +108,10 @@ class System
      */
     Tick runTiming(uint64_t records_per_core);
 
-    /** Reset all statistics (end of warmup). */
-    void resetStats() { ctx_.resetStats(); }
+    /** Reset all statistics (end of warmup), including the BTB
+     *  predictors' lookup counters, which live outside the stats
+     *  framework. */
+    void resetStats();
 
     /** Sum of instructions retired across cores. */
     uint64_t totalInstructions() const;

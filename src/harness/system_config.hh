@@ -16,6 +16,7 @@
 #include "prefetch/pht.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
+#include "trace/workload.hh"
 
 namespace pvsim {
 
@@ -183,6 +184,17 @@ struct SystemConfig {
     }
     /** Added to the preset seed (batching / matched pairs). */
     uint64_t seedOffset = 0;
+    /**
+     * Control-flow profile applied on top of every core's preset
+     * (trace/program_structure.hh): when enabled, the generators
+     * emit basic-block bursts with learnable taken-branch successor
+     * edges instead of the flat pc/gap interleaving. Disabled by
+     * default — the historical streams (and the fig4/fig5 coverage
+     * curves tuned against them) are bit-identical. The preset
+     * mixes carry their own profiles; fig9Config installs them
+     * here.
+     */
+    BranchProfile branchProfile;
     /**
      * When non-empty, cores replay captured traces
      * ("<traceDir>/core<i>.pvtrace") instead of generating

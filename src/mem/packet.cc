@@ -1,9 +1,25 @@
 #include "mem/packet.hh"
 
+#include "mem/packet_pool.hh"
+
 namespace pvsim {
 
 std::atomic<uint64_t> Packet::nextId_{0};
 std::atomic<int64_t> Packet::liveCount_{0};
+
+void
+Packet::DataDeleter::operator()(Data *d) const
+{
+    PacketPool::local().releaseData(d);
+}
+
+Packet::Data &
+Packet::ensureData()
+{
+    if (!data)
+        data.reset(PacketPool::local().allocData());
+    return *data;
+}
 
 const char *
 memCmdName(MemCmd cmd)

@@ -59,6 +59,17 @@ class Packet
     /** Block-sized optional payload. */
     using Data = std::array<uint8_t, kBlockBytes>;
 
+    /**
+     * Deleter returning payload buffers to the thread-local
+     * PacketPool's data freelist instead of the heap (PV traffic
+     * attaches a payload to most of its packets; without recycling
+     * every fill and writeback churned a 64-byte heap allocation).
+     */
+    struct DataDeleter {
+        void operator()(Data *d) const;
+    };
+    using DataPtr = std::unique_ptr<Data, DataDeleter>;
+
     Packet(MemCmd cmd, Addr addr, int core_id)
         : cmd(cmd), addr(addr), coreId(core_id), id(nextId_++)
     {
@@ -110,19 +121,11 @@ class Packet
     const uint64_t id;
 
     /** Optional 64-byte payload (allocated only for data-carrying
-     *  transactions, i.e. PV reads/writebacks). */
-    std::unique_ptr<Data> data;
+     *  transactions, i.e. PV reads/writebacks); pooled storage. */
+    DataPtr data;
 
-    /** Allocate (if needed) and zero the payload. */
-    Data &
-    ensureData()
-    {
-        if (!data) {
-            data = std::make_unique<Data>();
-            data->fill(0);
-        }
-        return *data;
-    }
+    /** Allocate (pool-recycled, if needed) and zero the payload. */
+    Data &ensureData();
 
     bool hasData() const { return data != nullptr; }
 

@@ -6,6 +6,8 @@ PacketPool::~PacketPool()
 {
     for (void *mem : free_)
         ::operator delete(mem);
+    for (void *mem : freeData_)
+        ::operator delete(mem);
 }
 
 PacketPool &

@@ -21,6 +21,7 @@
 #define PVSIM_MEM_PACKET_POOL_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/packet.hh"
@@ -70,16 +71,56 @@ class PacketPool
             ::operator delete(static_cast<void *>(pkt));
     }
 
+    /**
+     * Allocate a zeroed payload buffer, reusing freed storage when
+     * available (Packet::ensureData's backend — the pool recycles
+     * the payloads the same way it recycles the packets carrying
+     * them).
+     */
+    Packet::Data *
+    allocData()
+    {
+        void *mem;
+        if (!freeData_.empty()) {
+            mem = freeData_.back();
+            freeData_.pop_back();
+            ++dataReused_;
+        } else {
+            mem = ::operator new(sizeof(Packet::Data));
+            ++dataFresh_;
+        }
+        auto *d = new (mem) Packet::Data;
+        d->fill(0);
+        return d;
+    }
+
+    /** Keep a payload buffer for reuse (Packet::DataDeleter). */
+    void
+    releaseData(Packet::Data *d)
+    {
+        std::destroy_at(d);
+        if (freeData_.size() < kMaxFree)
+            freeData_.push_back(d);
+        else
+            ::operator delete(static_cast<void *>(d));
+    }
+
     // -- Introspection (tests, microbenchmarks) ----------------------
 
     size_t freeCount() const { return free_.size(); }
     uint64_t reusedAllocs() const { return reused_; }
     uint64_t freshAllocs() const { return fresh_; }
+    size_t freeDataCount() const { return freeData_.size(); }
+    uint64_t reusedDataAllocs() const { return dataReused_; }
+    uint64_t freshDataAllocs() const { return dataFresh_; }
 
   private:
     std::vector<void *> free_;
+    std::vector<void *> freeData_;
     uint64_t reused_ = 0;
     uint64_t fresh_ = 0;
+    uint64_t dataReused_ = 0;
+    uint64_t dataFresh_ = 0;
 };
 
 /** Allocate a packet from the calling thread's pool. */

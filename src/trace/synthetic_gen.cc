@@ -62,6 +62,10 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
         params_.dataRegions, params_.regionZipfAlpha);
     visits_.resize(std::max(1u, params_.concurrency));
     scans_.resize(std::max(1u, params_.scanStreams));
+    if (params_.branchModel) {
+        program_ = std::make_unique<ProgramStructureModel>(
+            params_, core_id, codeBase());
+    }
     reset();
 }
 
@@ -83,6 +87,8 @@ SyntheticWorkload::reset()
         scans_[s].nextOffset = 0;
     }
     nextScan_ = 0;
+    if (program_)
+        program_->reset();
 }
 
 Addr
@@ -171,6 +177,9 @@ SyntheticWorkload::fillCommon(TraceRecord &rec, Addr pc, Addr addr)
         std::min<uint64_t>(rng_.geometric(params_.gapMean), 512));
     rec.op = rng_.chance(params_.storeFraction) ? MemOp::Store
                                                 : MemOp::Load;
+    // Flat interleaving has no real edges; the control-flow layer
+    // (when on) overwrites this after the data-side draw.
+    rec.edge = BranchEdge::None;
 }
 
 void
@@ -236,6 +245,12 @@ SyntheticWorkload::emitOne(TraceRecord &rec)
         size_t slot = rng_.below(visits_.size());
         emitFrom(visits_[slot], rec);
     }
+    // Control-flow layer: rewrite pc/gap/edge from the CFG walk.
+    // The model owns a private Rng, so every rng_ draw above — and
+    // with it the whole (addr, op) stream — is identical whether the
+    // layer is on or off.
+    if (program_)
+        program_->annotate(rec);
 }
 
 bool

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "trace/program_structure.hh"
 #include "trace/trace_record.hh"
 #include "trace/workload.hh"
 #include "util/random.hh"
@@ -49,6 +50,16 @@ class SyntheticWorkload final : public TraceSource
     Addr keyPc(unsigned key) const;
 
     const WorkloadParams &params() const { return params_; }
+
+    /**
+     * The control-flow layer, or nullptr when branchModel is off.
+     * When present it rewrites pc/gap/edge of every record emitted
+     * (the data-side addr/op stream is unchanged either way).
+     */
+    const ProgramStructureModel *programStructure() const
+    {
+        return program_.get();
+    }
 
     // Fixed address-window geometry (all below any PV reservation;
     // see AddrMap). Private windows are per-core.
@@ -104,6 +115,8 @@ class SyntheticWorkload final : public TraceSource
     std::vector<Visit> visits_;
     std::vector<Scan> scans_;
     size_t nextScan_ = 0;
+    /** Control-flow layer (only when params_.branchModel). */
+    std::unique_ptr<ProgramStructureModel> program_;
 };
 
 } // namespace pvsim

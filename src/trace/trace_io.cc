@@ -81,6 +81,9 @@ TraceFileWriter::append(const TraceRecord &rec)
     buf[16] = uint8_t(rec.gap & 0xff);
     buf[17] = uint8_t(rec.gap >> 8);
     buf[18] = uint8_t(rec.op);
+    // The historical pad byte carries the branch-edge annotation;
+    // legacy files hold 0 there, which is BranchEdge::None.
+    buf[19] = uint8_t(rec.edge);
     if (std::fwrite(buf, 1, sizeof(buf), file_) != sizeof(buf))
         fatal("short write to trace file '%s'", path_.c_str());
     ++count_;
@@ -134,6 +137,9 @@ decodeRecord(const uint8_t *buf, TraceRecord &rec)
     rec.addr = get64(buf + 8);
     rec.gap = uint16_t(buf[16] | (uint16_t(buf[17]) << 8));
     rec.op = MemOp(buf[18]);
+    rec.edge = buf[19] <= uint8_t(BranchEdge::Ret)
+                   ? BranchEdge(buf[19])
+                   : BranchEdge::None;
 }
 
 } // anonymous namespace

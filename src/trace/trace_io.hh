@@ -9,7 +9,11 @@
  *   offset 4:  version u32  (currently 1)
  *   offset 8:  count   u64  number of records
  *   offset 16: records, each 20 bytes:
- *       pc u64 | addr u64 | gap u16 | op u8 | pad u8
+ *       pc u64 | addr u64 | gap u16 | op u8 | edge u8
+ *
+ * The edge byte (a BranchEdge) was the zero pad of version-1 files;
+ * 0 decodes as BranchEdge::None, so legacy traces read back as
+ * unannotated streams and the version number is unchanged.
  */
 
 #ifndef PVSIM_TRACE_TRACE_IO_HH

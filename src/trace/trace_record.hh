@@ -20,6 +20,33 @@ namespace pvsim {
 /** Kind of memory operation. */
 enum class MemOp : uint8_t { Load = 0, Store = 1 };
 
+/**
+ * How a record was reached from its predecessor. `None` marks an
+ * unannotated stream (legacy traces, flat synthetic interleaving):
+ * consumers fall back to reconstructing branches from record
+ * boundaries (pc vs. fall-through arithmetic). Annotated streams let
+ * the core consume *real* successor edges: which boundaries are
+ * genuine taken branches, and of what kind.
+ */
+enum class BranchEdge : uint8_t {
+    None = 0, ///< unannotated (pad byte of legacy trace files)
+    Seq,      ///< sequential fall-through (incl. not-taken exits)
+    Cond,     ///< taken conditional/unconditional branch
+    Loop,     ///< taken loop back-edge
+    Call,     ///< call into a routine entry
+    Ret,      ///< return to a callsite's fall-through
+};
+
+/** True for the edge kinds reached by a taken branch. */
+constexpr bool
+isTakenEdge(BranchEdge e)
+{
+    return e == BranchEdge::Cond || e == BranchEdge::Loop ||
+           e == BranchEdge::Call || e == BranchEdge::Ret;
+}
+
+const char *branchEdgeName(BranchEdge e);
+
 /** One memory instruction in the trace. */
 struct TraceRecord {
     /** PC of the memory instruction. */
@@ -29,6 +56,8 @@ struct TraceRecord {
     /** Non-memory instructions since the previous record. */
     uint16_t gap = 0;
     MemOp op = MemOp::Load;
+    /** Control-flow edge that led to this record (None = unknown). */
+    BranchEdge edge = BranchEdge::None;
 
     bool isLoad() const { return op == MemOp::Load; }
     bool isStore() const { return op == MemOp::Store; }

@@ -30,6 +30,31 @@
 
 namespace pvsim {
 
+/**
+ * Shape of the synthetic CFG the control-flow layer walks
+ * (trace/program_structure.hh). Shared verbatim between
+ * WorkloadParams (per-generator) and BranchProfile (per-mix), so a
+ * knob exists in exactly one place.
+ */
+struct BranchKnobs {
+    /** Mean memory records per basic block. */
+    unsigned bbMeanRecords = 4;
+    /** Basic blocks per routine (last block is the return). */
+    unsigned routineBlocks = 12;
+    /** Distinct routines in the synthetic CFG. */
+    unsigned numRoutines = 96;
+    /** Bounded call-stack depth (calls beyond it are elided). */
+    unsigned callDepth = 8;
+    /** Probability a non-terminal block ends in a call. */
+    double callFraction = 0.15;
+    /** Probability a non-terminal block is a loop tail. */
+    double loopFraction = 0.25;
+    /** Mean back-edges taken per loop activation. */
+    unsigned loopTripMean = 4;
+    /** Probability a taken edge follows its canonical successor. */
+    double edgeStability = 0.95;
+};
+
 /** Tunable description of one synthetic workload. */
 struct WorkloadParams {
     std::string name = "custom";
@@ -78,6 +103,19 @@ struct WorkloadParams {
     double gapMean = 5.0;
     /** Concurrent in-flight structured region visits. */
     unsigned concurrency = 8;
+
+    // ---- Program structure (control-flow modeling) --------------------
+    /**
+     * Enable the control-flow layer (trace/program_structure.hh):
+     * pc/gap come from a walk over a synthetic CFG with learnable
+     * taken-branch successor edges instead of the flat per-record
+     * interleaving. Off (the default) reproduces the historical
+     * stream bit-for-bit; on, the (addr, op) stream is still
+     * identical — only pc/gap/edge change.
+     */
+    bool branchModel = false;
+    /** CFG shape when branchModel is on (see BranchKnobs). */
+    struct BranchKnobs branch;
 };
 
 /**
@@ -92,13 +130,29 @@ WorkloadParams workloadPreset(const std::string &name);
 std::vector<std::string> paperWorkloads();
 
 /**
+ * Mix-level control-flow profile: the branch-structure knobs a
+ * multi-programmed mix applies to every member workload. Presets
+ * keep `branchModel` off (the fig4/fig5 data-side curves are tuned
+ * against the flat streams); the mixes — the unit the BTB/Figure 9
+ * experiments run on — switch it on here, so branch learnability is
+ * a property of the *experiment*, not of the preset.
+ */
+struct BranchProfile : BranchKnobs {
+    bool enabled = false;
+
+    /** Install the knobs on p (no-op when !enabled). */
+    void applyTo(WorkloadParams &p) const;
+};
+
+/**
  * A named multi-programmed mix: one preset per core (wrapped when
- * the machine has more cores than entries). Feeds
- * SystemConfig::workloadMix.
+ * the machine has more cores than entries), plus the control-flow
+ * profile its members run under. Feeds SystemConfig::workloadMix.
  */
 struct WorkloadMix {
     std::string name;
     std::vector<std::string> workloads;
+    BranchProfile branch;
 };
 
 /**

@@ -170,14 +170,83 @@ paperWorkloads()
             "qry1",   "qry2", "qry16", "qry17"};
 }
 
+void
+BranchProfile::applyTo(WorkloadParams &p) const
+{
+    if (!enabled)
+        return;
+    p.branchModel = true;
+    p.branch = *this; // slices to the shared BranchKnobs
+}
+
 std::vector<WorkloadMix>
 presetMixes()
 {
+    /*
+     * Mix-level branch profiles, tuned to the class of code each mix
+     * models (single presets keep the flat streams — the fig4/fig5
+     * data-side curves are regression-guarded bit-for-bit):
+     *  - web: dispatch-heavy short handlers, deep call chains, high
+     *    stability (request processing is repetitive);
+     *  - oltp: the paper's large-I-stream class — more routines than
+     *    a PVCache can front, medium stability;
+     *  - dss: loop-dominated scan kernels with long trip counts and
+     *    very high stability (fewer, longer blocks);
+     *  - mixed: the cross-class blend the QoS experiments run —
+     *    branchiest of the four (a taken branch every few records),
+     *    with enough routines to thrash the PVCache; this is the
+     *    profile where the dedicated-vs-virtualized availability
+     *    gap is widest.
+     */
+    BranchProfile web;
+    web.enabled = true;
+    web.bbMeanRecords = 2;
+    web.routineBlocks = 8;
+    web.numRoutines = 192;
+    web.callDepth = 12;
+    web.callFraction = 0.30;
+    web.loopFraction = 0.10;
+    web.loopTripMean = 3;
+    web.edgeStability = 0.95;
+
+    BranchProfile oltp;
+    oltp.enabled = true;
+    oltp.bbMeanRecords = 2;
+    oltp.routineBlocks = 12;
+    oltp.numRoutines = 384;
+    oltp.callDepth = 10;
+    oltp.callFraction = 0.20;
+    oltp.loopFraction = 0.20;
+    oltp.loopTripMean = 4;
+    oltp.edgeStability = 0.90;
+
+    BranchProfile dss;
+    dss.enabled = true;
+    dss.bbMeanRecords = 4;
+    dss.routineBlocks = 10;
+    dss.numRoutines = 96;
+    dss.callDepth = 6;
+    dss.callFraction = 0.08;
+    dss.loopFraction = 0.40;
+    dss.loopTripMean = 8;
+    dss.edgeStability = 0.97;
+
+    BranchProfile mixed;
+    mixed.enabled = true;
+    mixed.bbMeanRecords = 1;
+    mixed.routineBlocks = 8;
+    mixed.numRoutines = 384;
+    mixed.callDepth = 16;
+    mixed.callFraction = 0.35;
+    mixed.loopFraction = 0.10;
+    mixed.loopTripMean = 2;
+    mixed.edgeStability = 0.93;
+
     return {
-        {"web", {"apache", "zeus"}},
-        {"oltp", {"db2", "oracle"}},
-        {"dss", {"qry1", "qry2", "qry16", "qry17"}},
-        {"mixed", {"apache", "oracle", "qry2", "zeus"}},
+        {"web", {"apache", "zeus"}, web},
+        {"oltp", {"db2", "oracle"}, oltp},
+        {"dss", {"qry1", "qry2", "qry16", "qry17"}, dss},
+        {"mixed", {"apache", "oracle", "qry2", "zeus"}, mixed},
     };
 }
 

@@ -283,3 +283,51 @@ TEST(PacketPoolTest, TimingRunLeaksNothingThroughThePool)
     }
     EXPECT_EQ(Packet::liveCount(), before);
 }
+
+TEST(PacketPoolTest, RecyclesPayloadBuffers)
+{
+    PacketPool &pool = PacketPool::local();
+
+    // A packet's payload goes back to the pool with the packet...
+    Packet::Data *raw;
+    {
+        Packet pkt(MemCmd::ReadReq, 0x1000, 0);
+        raw = &pkt.ensureData();
+        (*raw)[0] = 0xAB;
+        EXPECT_TRUE(pkt.hasData());
+    }
+    size_t free_after = pool.freeDataCount();
+    EXPECT_GT(free_after, 0u) << "destroying the packet must "
+                                 "recycle its payload";
+
+    // ...and the next allocation reuses that buffer, zeroed.
+    Packet pkt2(MemCmd::Writeback, 0x2000, 0);
+    Packet::Data &d = pkt2.ensureData();
+    EXPECT_EQ(static_cast<void *>(&d), static_cast<void *>(raw));
+    EXPECT_EQ(d[0], 0u) << "recycled payloads arrive zeroed";
+    EXPECT_EQ(pool.freeDataCount(), free_after - 1);
+    EXPECT_GT(pool.reusedDataAllocs(), 0u);
+}
+
+TEST(PacketPoolTest, PvTrafficReusesPayloadBuffers)
+{
+    // A PV-heavy run must stop churning the heap for payloads: by
+    // the end of a warm run, reuse dominates fresh allocation.
+    // Both counters are snapshotted so only THIS run's allocations
+    // are compared (they are process-cumulative).
+    PacketPool &pool = PacketPool::local();
+    uint64_t fresh_before = pool.freshDataAllocs();
+    uint64_t reused_before = pool.reusedDataAllocs();
+    {
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.prefetch = PrefetchMode::SmsVirtualized;
+        cfg.mode = SimMode::Timing;
+        System sys(cfg);
+        sys.runTiming(6000);
+    }
+    uint64_t fresh = pool.freshDataAllocs() - fresh_before;
+    uint64_t reused = pool.reusedDataAllocs() - reused_before;
+    EXPECT_GT(reused, fresh)
+        << "payload reuse must dominate fresh allocation";
+}

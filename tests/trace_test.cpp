@@ -1,14 +1,22 @@
 /**
  * @file
  * Tests for the trace subsystem: file format round trip, synthetic
- * generator determinism and structure, and workload presets.
+ * generator determinism and structure, workload presets, the
+ * program-structure (control-flow) layer, and the bit-identity
+ * guards that pin the default streams — and the fig4/fig5 coverage
+ * counters derived from them — across refactors of the generator.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <set>
+#include <vector>
 
+#include "harness/metrics.hh"
+#include "harness/system.hh"
+#include "trace/program_structure.hh"
 #include "trace/synthetic_gen.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
@@ -79,6 +87,34 @@ TEST(TraceIo, RecordSizeIsStable)
     // The on-disk format is part of the public contract.
     EXPECT_EQ(kTraceRecordBytes, 20u);
     EXPECT_EQ(kTraceMagic, 0x52545650u);
+}
+
+TEST(TraceIo, EdgeAnnotationsRoundTripThroughThePadByte)
+{
+    // Annotated records keep the 20-byte format (the edge rides in
+    // the historical pad byte); a zero there is still None, so
+    // legacy files read back as unannotated streams.
+    std::string path = "/tmp/pvsim_trace_edges.bin";
+    const BranchEdge kinds[] = {BranchEdge::None, BranchEdge::Seq,
+                                BranchEdge::Cond, BranchEdge::Loop,
+                                BranchEdge::Call, BranchEdge::Ret};
+    {
+        TraceFileWriter w(path);
+        TraceRecord r;
+        for (BranchEdge e : kinds) {
+            r.pc = 0x1000 + Addr(e) * 4;
+            r.edge = e;
+            w.append(r);
+        }
+        w.close();
+    }
+    TraceFileReader reader(path);
+    TraceRecord r;
+    for (BranchEdge e : kinds) {
+        ASSERT_TRUE(reader.next(r));
+        EXPECT_EQ(r.edge, e) << branchEdgeName(e);
+    }
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -199,6 +235,330 @@ TEST(SyntheticWorkload, IrregularOnlyHasNoRepeatingPatternKeys)
 }
 
 // ---------------------------------------------------------------------
+// Bit-identity guards (pre-refactor golden values)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** FNV-1a over the data-visible record fields (not the edge
+ *  annotation, which default streams don't carry). */
+uint64_t
+streamHash(const std::string &preset, int core, int n)
+{
+    SyntheticWorkload gen(workloadPreset(preset), core);
+    TraceRecord r;
+    uint64_t h = 1469598103934665603ULL;
+    auto step = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (int i = 0; i < n; ++i) {
+        gen.next(r);
+        step(r.pc);
+        step(r.addr);
+        step(r.gap);
+        step(uint64_t(r.op));
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(BitIdentityGuard, DefaultStreamsMatchPreRefactorGolden)
+{
+    // Hashes of the first 50000 records of every preset, captured
+    // from the flat generator immediately before the
+    // program-structure refactor landed. Any change here means the
+    // default (branchModel = off) streams moved — which the
+    // fig4/fig5 preset tuning forbids.
+    struct Golden {
+        const char *preset;
+        int core;
+        uint64_t hash;
+    };
+    const Golden golden[] = {
+        {"apache", 0, 0xe8c1b3f6f3145e98ULL},
+        {"apache", 1, 0x08172b5a4d5cac05ULL},
+        {"zeus", 0, 0xe620cd38fd7146a3ULL},
+        {"zeus", 1, 0x9587052df38d36e8ULL},
+        {"db2", 0, 0x4ecd2a0c6579e39bULL},
+        {"db2", 1, 0x6cc69b3d61ffcefeULL},
+        {"oracle", 0, 0x8f0f41315bfda698ULL},
+        {"oracle", 1, 0x6b8a3ec3cca694e8ULL},
+        {"qry1", 0, 0x81fed920364bd292ULL},
+        {"qry1", 1, 0x93f080b74314b344ULL},
+        {"qry2", 0, 0x5747e2b622e230b2ULL},
+        {"qry2", 1, 0x1d2fe27430aa4d3fULL},
+        {"qry16", 0, 0x3395d7342fe7b2e6ULL},
+        {"qry16", 1, 0x0adda277eaf5cc60ULL},
+        {"qry17", 0, 0xf5a3142d2f9d4b3fULL},
+        {"qry17", 1, 0x3630ec63c4f6510cULL},
+        {"uniform", 0, 0xd5961199a6684460ULL},
+    };
+    for (const Golden &g : golden) {
+        EXPECT_EQ(streamHash(g.preset, g.core, 50000), g.hash)
+            << g.preset << " core " << g.core
+            << ": default stream diverged from pre-refactor golden";
+    }
+}
+
+TEST(BitIdentityGuard, CoverageCountersMatchPreRefactorGolden)
+{
+    // fig4/fig5-shaped functional coverage (30k warmup + 60k
+    // measured refs, 4 cores) for a capacity-insensitive and a
+    // capacity-starved PHT, captured pre-refactor. These are the
+    // outputs the paper-shape tuning cares about; exact equality is
+    // the contract (not "close").
+    struct Golden {
+        const char *preset;
+        bool infinite;
+        uint64_t covered, uncovered, overpred;
+    };
+    const Golden golden[] = {
+        {"apache", true, 67161, 131591, 34607},
+        {"apache", false, 10017, 188706, 4504},
+        {"qry1", true, 177767, 58084, 7508},
+        {"qry1", false, 170877, 64969, 4375},
+    };
+    for (const Golden &g : golden) {
+        SystemConfig cfg;
+        cfg.workload = g.preset;
+        cfg.prefetch = g.infinite ? PrefetchMode::SmsInfinite
+                                  : PrefetchMode::SmsDedicated;
+        cfg.phtGeometry = {16, 11};
+        System sys(cfg);
+        sys.runFunctional(30000);
+        sys.resetStats();
+        sys.runFunctional(60000);
+        CoverageMetrics m = coverageOf(sys);
+        EXPECT_EQ(m.covered, g.covered) << g.preset;
+        EXPECT_EQ(m.uncovered, g.uncovered) << g.preset;
+        EXPECT_EQ(m.overpredictions, g.overpred) << g.preset;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Program-structure (control-flow) layer
+// ---------------------------------------------------------------------
+
+namespace {
+
+WorkloadParams
+branchyParams()
+{
+    WorkloadParams p = workloadPreset("apache");
+    p.branchModel = true;
+    return p;
+}
+
+} // namespace
+
+TEST(ProgramStructure, DataSideStreamUnchangedWhenEnabled)
+{
+    // The layer overrides pc/gap/edge only; the (addr, op) draws —
+    // the streams SMS learns from — must be bit-identical with the
+    // model on or off.
+    WorkloadParams off = workloadPreset("apache");
+    WorkloadParams on = branchyParams();
+    SyntheticWorkload a(off, 0), b(on, 0);
+    ASSERT_EQ(b.programStructure() != nullptr, true);
+    EXPECT_EQ(a.programStructure(), nullptr);
+    TraceRecord ra, rb;
+    bool pc_differs = false;
+    for (int i = 0; i < 20000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        ASSERT_EQ(ra.addr, rb.addr) << "at " << i;
+        ASSERT_EQ(ra.op, rb.op) << "at " << i;
+        pc_differs = pc_differs || ra.pc != rb.pc;
+        EXPECT_EQ(ra.edge, BranchEdge::None);
+        EXPECT_NE(rb.edge, BranchEdge::None);
+    }
+    EXPECT_TRUE(pc_differs) << "the model must rewrite pcs";
+}
+
+TEST(ProgramStructure, ResetReplaysIdenticallyWithEdges)
+{
+    SyntheticWorkload g(branchyParams(), 1);
+    std::vector<TraceRecord> first(5000);
+    for (auto &r : first)
+        g.next(r);
+    g.reset();
+    TraceRecord r;
+    for (int i = 0; i < 5000; ++i) {
+        g.next(r);
+        ASSERT_EQ(r.pc, first[size_t(i)].pc) << "at " << i;
+        ASSERT_EQ(r.addr, first[size_t(i)].addr) << "at " << i;
+        ASSERT_EQ(r.gap, first[size_t(i)].gap) << "at " << i;
+        ASSERT_EQ(r.edge, first[size_t(i)].edge) << "at " << i;
+    }
+}
+
+TEST(ProgramStructure, SeqEdgesAreGenuineFallThroughs)
+{
+    // Within the model, Seq means the next pc really is
+    // pc + (gap+1)*instBytes — that property is what keeps
+    // intra-block boundaries off the taken-branch books.
+    SyntheticWorkload g(branchyParams(), 0);
+    TraceRecord prev, cur;
+    g.next(prev);
+    int seq = 0, taken = 0;
+    for (int i = 0; i < 50000; ++i) {
+        g.next(cur);
+        Addr fall = prev.pc +
+                    (Addr(prev.gap) + 1) *
+                        ProgramStructureModel::kInstBytes;
+        if (cur.edge == BranchEdge::Seq) {
+            ASSERT_EQ(cur.pc, fall) << "at " << i;
+            ++seq;
+        } else {
+            ++taken;
+        }
+        prev = cur;
+    }
+    EXPECT_GT(seq, 0);
+    EXPECT_GT(taken, 0);
+}
+
+TEST(ProgramStructure, CallsAndReturnsPairWithPerCallsiteTargets)
+{
+    WorkloadParams p = branchyParams();
+    p.branch.callFraction = 0.30;
+    p.branch.callDepth = 6;
+    SyntheticWorkload g(p, 0);
+    TraceRecord prev, cur;
+    g.next(prev);
+    std::vector<Addr> shadow; // expected return pcs
+    int calls = 0, rets = 0;
+    size_t max_depth = 0;
+    for (int i = 0; i < 100000; ++i) {
+        g.next(cur);
+        if (cur.edge == BranchEdge::Call) {
+            // The callsite's fall-through is the return target.
+            shadow.push_back(
+                prev.pc + (Addr(prev.gap) + 1) *
+                              ProgramStructureModel::kInstBytes);
+            max_depth = std::max(max_depth, shadow.size());
+            ++calls;
+        } else if (cur.edge == BranchEdge::Ret) {
+            ASSERT_FALSE(shadow.empty())
+                << "return without a matching call at " << i;
+            EXPECT_EQ(cur.pc, shadow.back())
+                << "return must land on its callsite's "
+                   "fall-through at "
+                << i;
+            shadow.pop_back();
+            ++rets;
+        }
+        prev = cur;
+    }
+    EXPECT_GT(calls, 1000);
+    EXPECT_GT(rets, 1000);
+    EXPECT_LE(max_depth, size_t(p.branch.callDepth))
+        << "the call stack must stay bounded";
+}
+
+TEST(ProgramStructure, LoopTripCountsAreBoundedAndReached)
+{
+    WorkloadParams p = branchyParams();
+    p.branch.loopFraction = 0.5;
+    p.branch.callFraction = 0.05;
+    p.branch.loopTripMean = 4;
+    SyntheticWorkload g(p, 0);
+    const ProgramStructureModel *m = g.programStructure();
+    ASSERT_NE(m, nullptr);
+
+    // Map each loop block's branch pc to its trip count.
+    std::map<Addr, unsigned> trips;
+    for (unsigned r = 0; r < m->numRoutines(); ++r) {
+        for (unsigned b = 0; b < m->blocksPerRoutine(); ++b) {
+            if (m->termOf(r, b) == ProgramStructureModel::Term::Loop)
+                trips[m->branchPcOf(r, b)] = m->loopTripsOf(r, b);
+        }
+    }
+    ASSERT_FALSE(trips.empty());
+
+    // Between two fall-through exits of one loop branch there are
+    // at most `trips` back-edges; dense bodies reach the bound.
+    std::map<Addr, unsigned> run, max_run;
+    TraceRecord prev, cur;
+    g.next(prev);
+    for (int i = 0; i < 200000; ++i) {
+        g.next(cur);
+        auto it = trips.find(prev.pc);
+        if (it != trips.end()) {
+            if (cur.edge == BranchEdge::Loop) {
+                unsigned n = ++run[prev.pc];
+                max_run[prev.pc] =
+                    std::max(max_run[prev.pc], n);
+                ASSERT_LE(n, it->second)
+                    << "more back-edges than trips at " << i;
+            } else if (cur.edge == BranchEdge::Seq) {
+                run[prev.pc] = 0; // loop exited
+            }
+        }
+        prev = cur;
+    }
+    bool reached = false;
+    for (const auto &[pc, n] : max_run)
+        reached = reached || n == trips[pc];
+    EXPECT_TRUE(reached)
+        << "some loop must run its full trip count";
+}
+
+TEST(ProgramStructure, EdgeStabilityControlsSuccessorSpread)
+{
+    // At stability 1.0 every branch pc has exactly one taken-branch
+    // target — the perfectly learnable stream; at 0.5 the Cond
+    // branches flip between canonical and alternate targets.
+    auto successors = [](double stability) {
+        WorkloadParams p = workloadPreset("apache");
+        p.branchModel = true;
+        p.branch.edgeStability = stability;
+        p.branch.callFraction = 0.0; // only Cond/Loop/dispatch edges
+        SyntheticWorkload g(p, 0);
+        std::map<Addr, std::set<Addr>> succ;
+        TraceRecord prev, cur;
+        g.next(prev);
+        for (int i = 0; i < 100000; ++i) {
+            g.next(cur);
+            if (isTakenEdge(cur.edge))
+                succ[prev.pc].insert(cur.pc);
+            prev = cur;
+        }
+        size_t multi = 0;
+        for (const auto &[pc, targets] : succ)
+            multi += targets.size() > 1;
+        return std::pair<size_t, size_t>(multi, succ.size());
+    };
+    auto [multi_stable, n_stable] = successors(1.0);
+    auto [multi_unstable, n_unstable] = successors(0.5);
+    EXPECT_EQ(multi_stable, 0u)
+        << "stability 1.0 must give single-successor edges";
+    EXPECT_GT(n_stable, 0u);
+    EXPECT_GT(multi_unstable, n_unstable / 10)
+        << "stability 0.5 must split many branch targets";
+}
+
+TEST(ProgramStructure, PcsStayInTheCodeWindowBelowPv)
+{
+    WorkloadParams p = workloadPreset("qry1");
+    p.branchModel = true;
+    SyntheticWorkload g(p, 3);
+    const ProgramStructureModel *m = g.programStructure();
+    ASSERT_NE(m, nullptr);
+    Addr base = SyntheticWorkload::kCodeWindow * Addr(3 + 1);
+    TraceRecord r;
+    for (int i = 0; i < 20000; ++i) {
+        g.next(r);
+        ASSERT_GE(r.pc, base);
+        ASSERT_LT(r.pc, base + m->codeBytes());
+    }
+    Addr pv_base = 3ull * 1024 * 1024 * 1024 - 4ull * 64 * 1024;
+    EXPECT_LT(base + m->codeBytes(), pv_base);
+}
+
+// ---------------------------------------------------------------------
 // Presets
 // ---------------------------------------------------------------------
 
@@ -231,6 +591,28 @@ TEST(WorkloadPresets, PresetsAreDistinct)
         differ = ra.addr != ro.addr;
     }
     EXPECT_TRUE(differ);
+}
+
+TEST(WorkloadPresets, MixesCarryBranchProfilesPresetsStayFlat)
+{
+    // The mixes (the BTB/Figure 9 experiment unit) enable the
+    // control-flow layer; bare presets never do — the data-side
+    // golden guards above depend on that.
+    for (const WorkloadMix &mix : presetMixes()) {
+        EXPECT_TRUE(mix.branch.enabled) << mix.name;
+        EXPECT_GT(mix.branch.edgeStability, 0.5) << mix.name;
+        for (const auto &wl : mix.workloads)
+            EXPECT_FALSE(workloadPreset(wl).branchModel) << wl;
+    }
+    // applyTo is a no-op when disabled.
+    WorkloadParams p = workloadPreset("apache");
+    BranchProfile off;
+    off.applyTo(p);
+    EXPECT_FALSE(p.branchModel);
+    BranchProfile on = presetMixes()[0].branch;
+    on.applyTo(p);
+    EXPECT_TRUE(p.branchModel);
+    EXPECT_EQ(p.branch.edgeStability, on.edgeStability);
 }
 
 TEST(WorkloadPresets, ScanHeavyPresetIsQry1)
