@@ -178,7 +178,7 @@ BM_SharedProxyTenants(benchmark::State &state)
     PvSetCodec codec(10, 15, 32);
     for (unsigned t = 0; t < tenants; ++t) {
         unsigned id = proxy.registerEngine(
-            {"t" + std::to_string(t), 64, codec.usedBits()});
+            {"t" + std::to_string(t), 64, codec.usedBits(), {}});
         tables.push_back(std::make_unique<VirtualizedAssocTable>(
             &proxy, id, codec));
     }

@@ -17,9 +17,17 @@ PvProxy::EngineStats::EngineStats(stats::Group *parent,
       misses(this, "misses", "operations missing the PVCache"),
       drops(this, "drops",
             "operations dropped and reported as predictor miss"),
+      qosDrops(this, "qos_drops",
+               "operations dropped by the share policy "
+               "(fair-share or weighted QoS)"),
       fills(this, "fills", "sets fetched for this engine"),
       writebacks(this, "writebacks",
-                 "dirty lines of this engine written to the L2")
+                 "dirty lines of this engine written to the L2"),
+      fillLatencyTicks(this, "fill_latency_ticks",
+                       "ticks this engine's fills spent between "
+                       "fetch issue and PVCache install"),
+      pvCachePeak(this, "pvcache_peak",
+                  "most PVCache entries held at once")
 {
 }
 
@@ -48,6 +56,8 @@ PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
 {
     pv_assert(params_.pvCacheEntries > 0, "PVCache needs entries");
     entries_.resize(params_.pvCacheEntries);
+    qos_.setCapacities(params_.pvCacheEntries, params_.mshrs,
+                       params_.patternBufferEntries);
 }
 
 PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
@@ -55,7 +65,7 @@ PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
     : PvProxy(ctx, params, layout.pvStart(), layout.tableBytes())
 {
     registerEngine({"table0", layout.numSets(),
-                    params.usedBitsPerLine});
+                    params.usedBitsPerLine, {}});
 }
 
 unsigned
@@ -71,6 +81,8 @@ PvProxy::registerEngine(const PvEngineInfo &info)
     Engine e{info, region_.allocate(info.numSets),
              std::make_unique<EngineStats>(this, info.name)};
     engines_.push_back(std::move(e));
+    qos_.addTenant(info.qos);
+    cacheOcc_.push_back(0);
     return table;
 }
 
@@ -107,6 +119,51 @@ PvProxy::evictEntry(CacheEntry &e)
     }
     e.valid = false;
     e.dirty = false;
+    pv_assert(cacheOcc_[e.table] > 0, "PVCache occupancy underflow");
+    --cacheOcc_[e.table];
+}
+
+PvProxy::CacheEntry *
+PvProxy::pickVictim(unsigned table)
+{
+    // LRU over the valid entries satisfying pred (nullptr if none).
+    auto lru_among = [this](auto pred) -> CacheEntry * {
+        CacheEntry *v = nullptr;
+        for (auto &e : entries_) {
+            if (e.valid && pred(e) &&
+                (!v || e.lastTouch < v->lastTouch))
+                v = &e;
+        }
+        return v;
+    };
+
+    if (!qos_.active() || numEngines() < 2) {
+        // Legacy policy: global LRU over the shared PVCache.
+        return lru_among([](const CacheEntry &) { return true; });
+    }
+
+    // Weighted partitioning: a tenant under its entitlement
+    // reclaims the LRU line of whichever tenant is over its own
+    // (one must exist: entitlements sum to the capacity); a tenant
+    // at or over its entitlement replaces within its own lines.
+    const unsigned ent =
+        qos_.entitlement(table, PvQosArbiter::PvCache);
+    if (cacheOcc_[table] < ent) {
+        CacheEntry *v = lru_among([this](const CacheEntry &e) {
+            return cacheOcc_[e.table] >
+                   qos_.entitlement(e.table, PvQosArbiter::PvCache);
+        });
+        if (v)
+            return v;
+    }
+    if (CacheEntry *v = lru_among([table](const CacheEntry &e) {
+            return e.table == table;
+        }))
+        return v;
+    // Transient corner after a contract change mid-flight (the
+    // tenant owns no lines and nobody is over-entitled): fall back
+    // to global LRU rather than fail.
+    return lru_among([](const CacheEntry &) { return true; });
 }
 
 PvProxy::CacheEntry &
@@ -120,11 +177,7 @@ PvProxy::allocateEntry(unsigned line, unsigned table)
         }
     }
     if (!victim) {
-        victim = &entries_[0];
-        for (auto &e : entries_) {
-            if (e.lastTouch < victim->lastTouch)
-                victim = &e;
-        }
+        victim = pickVictim(table);
         evictEntry(*victim);
     }
     victim->valid = true;
@@ -134,6 +187,10 @@ PvProxy::allocateEntry(unsigned line, unsigned table)
     victim->lastTouch = ++touchCounter_;
     victim->bytes.fill(0);
     victim->ages.fill(0xff); // everything "old" until touched
+    ++cacheOcc_[table];
+    EngineStats &es = engineStats(table);
+    if (cacheOcc_[table] > es.pvCachePeak.value())
+        es.pvCachePeak.set(cacheOcc_[table]);
     return *victim;
 }
 
@@ -141,6 +198,13 @@ void
 PvProxy::applyOp(CacheEntry &e, const SetOp &op)
 {
     e.lastTouch = ++touchCounter_;
+    // Refresh the high-watermark on hits too: a stats reset zeroes
+    // the peak while the tenant's lines stay resident, and a
+    // well-protected working set may never allocate again during
+    // the measurement phase.
+    EngineStats &es = engineStats(e.table);
+    if (cacheOcc_[e.table] > es.pvCachePeak.value())
+        es.pvCachePeak.set(cacheOcc_[e.table]);
     PvLineView view{e.bytes.data(), &e.dirty, &e.ages};
     op(view);
 }
@@ -150,8 +214,10 @@ PvProxy::dropOp(unsigned table, const SetOp &op, bool fairness)
 {
     ++droppedOps;
     ++engineStats(table).drops;
-    if (fairness)
+    if (fairness) {
         ++fairnessDrops;
+        ++engineStats(table).qosDrops;
+    }
     PvLineView view{nullptr, nullptr, nullptr};
     op(view);
 }
@@ -198,6 +264,22 @@ PvProxy::fairShare(unsigned capacity) const
     return capacity - reserve;
 }
 
+unsigned
+PvProxy::shareLimit(unsigned table, PvQosArbiter::Resource r) const
+{
+    if (qos_.active())
+        return qos_.entitlement(table, r);
+    switch (r) {
+      case PvQosArbiter::PvCache:
+        return params_.pvCacheEntries;
+      case PvQosArbiter::Mshrs:
+        return fairShare(params_.mshrs);
+      case PvQosArbiter::PatternBuffer:
+      default:
+        return fairShare(params_.patternBufferEntries);
+    }
+}
+
 void
 PvProxy::access(unsigned table, unsigned set, SetOp op)
 {
@@ -218,6 +300,15 @@ PvProxy::access(unsigned table, unsigned set, SetOp op)
     }
     ++pvCacheMisses;
     ++eng.stats->misses;
+
+    if (shareLimit(table, PvQosArbiter::PvCache) == 0) {
+        // A best-effort tenant entitled to no PVCache entries never
+        // allocates: every miss is a predictor miss (starved, not
+        // deadlocked — the callback still runs). Applies in both
+        // modes, so starvation is mode-independent.
+        dropOp(table, op, true);
+        return;
+    }
 
     if (!isTiming()) {
         // Functional mode: fetch synchronously through the
@@ -251,7 +342,7 @@ PvProxy::fetchLine(unsigned line, unsigned table, SetOp op)
                 return;
             }
             if (pendingOpCount(table) >=
-                fairShare(params_.patternBufferEntries)) {
+                shareLimit(table, PvQosArbiter::PatternBuffer)) {
                 dropOp(table, op, true);
                 return;
             }
@@ -268,12 +359,14 @@ PvProxy::fetchLine(unsigned line, unsigned table, SetOp op)
         dropOp(table, op, false);
         return;
     }
-    if (inFlightCount(table) >= fairShare(params_.mshrs) ||
+    if (inFlightCount(table) >=
+            shareLimit(table, PvQosArbiter::Mshrs) ||
         pendingOpCount(table) >=
-            fairShare(params_.patternBufferEntries)) {
-        // This tenant already holds its fair share of the MSHR file
-        // or pattern buffer; the reserved slots belong to the other
-        // tenants.
+            shareLimit(table, PvQosArbiter::PatternBuffer)) {
+        // This tenant already holds its share of the MSHR file or
+        // pattern buffer — the legacy fair reservation, or its QoS
+        // entitlement once any tenant carries weights/floors; the
+        // remaining slots belong to the other tenants.
         dropOp(table, op, true);
         return;
     }
@@ -346,6 +439,8 @@ PvProxy::recvResponse(PacketPtr pkt)
         e.bytes = *pkt->data;
     ++fills;
     ++engineStats(table).fills;
+    engineStats(table).fillLatencyTicks +=
+        curTick() - pkt->issueTick;
     freePacket(pkt);
 
     for (const SetOp &op : ops)

@@ -13,7 +13,12 @@
  * share its PVCache and buffers. In-flight entries are tagged with
  * the owning table-id, statistics are attributed per engine, and a
  * fair drop policy keeps one engine from starving the others out of
- * the pattern buffer.
+ * the pattern buffer. Tenants may additionally carry a QoS contract
+ * (pv_qos.hh) — a weight plus optional per-resource floors — under
+ * which the proxy partitions the PVCache, the MSHR file, and the
+ * pattern buffer by weighted entitlement instead of the symmetric
+ * fair share, protecting a latency-critical tenant from a
+ * bandwidth-hungry one.
  *
  * All PVProxy memory traffic is made of ordinary requests injected
  * at the L2 ("on the backside of the L1"); the hierarchy is
@@ -32,6 +37,7 @@
 
 #include "core/pv_codec.hh"
 #include "core/pv_layout.hh"
+#include "core/pv_qos.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/sim_object.hh"
@@ -63,6 +69,10 @@ struct PvEngineInfo {
     unsigned numSets = 0;
     /** Live bits of each packed line (storage accounting). */
     unsigned usedBitsPerLine = 0;
+    /** QoS contract: weight + optional floors over the shared
+     *  PVCache / MSHR / pattern-buffer capacity (pv_qos.hh). The
+     *  default contract keeps the legacy fair-share policy. */
+    PvTenantQos qos;
 };
 
 /**
@@ -198,13 +208,63 @@ class PvProxy : public SimObject, public MemClient
         stats::Scalar hits;        ///< PVCache hits
         stats::Scalar misses;      ///< PVCache misses
         stats::Scalar drops;       ///< ops dropped (predictor miss)
+        stats::Scalar qosDrops;    ///< ... by the share policy
         stats::Scalar fills;       ///< sets fetched for this tenant
         stats::Scalar writebacks;  ///< dirty lines written back
+        /** Sum of ticks each of this tenant's fills spent between
+         *  fetch issue and PVCache install (timing mode): divide by
+         *  `fills` for the tenant's mean fill latency. */
+        stats::Scalar fillLatencyTicks;
+        /** High-watermark of PVCache entries held at once. */
+        stats::Scalar pvCachePeak;
     };
 
     EngineStats &engineStats(unsigned table)
     {
         return *engines_.at(table).stats;
+    }
+
+    // ---- Per-tenant QoS (pv_qos.hh) -----------------------------------
+
+    /**
+     * Replace one tenant's QoS contract at runtime (e.g. between
+     * warmup and measurement). Entitlements take effect on the next
+     * admission/eviction decision; occupancy converges through the
+     * normal replacement traffic — no lines are flushed.
+     */
+    void
+    setTenantQos(unsigned table, const PvTenantQos &qos)
+    {
+        engines_.at(table).info.qos = qos;
+        qos_.setTenantQos(table, qos);
+    }
+
+    const PvTenantQos &
+    tenantQos(unsigned table) const
+    {
+        return engines_.at(table).info.qos;
+    }
+
+    /** The arbiter (entitlement introspection for tests/benches). */
+    const PvQosArbiter &qosArbiter() const { return qos_; }
+
+    /** PVCache entries tenant `table` currently holds. */
+    unsigned
+    pvCacheOccupancy(unsigned table) const
+    {
+        return cacheOcc_.at(table);
+    }
+
+    /** MSHRs tenant `table` currently holds (in-flight fetches). */
+    unsigned mshrOccupancy(unsigned table) const
+    {
+        return inFlightCount(table);
+    }
+
+    /** Pattern-buffer entries tenant `table` currently holds. */
+    unsigned patternOccupancy(unsigned table) const
+    {
+        return pendingOpCount(table);
     }
 
     // Aggregate statistics (all tenants)
@@ -246,6 +306,7 @@ class PvProxy : public SimObject, public MemClient
 
     CacheEntry *findEntry(unsigned line);
     CacheEntry &allocateEntry(unsigned line, unsigned table);
+    CacheEntry *pickVictim(unsigned table);
     void applyOp(CacheEntry &e, const SetOp &op);
     void dropOp(unsigned table, const SetOp &op, bool fairness);
     void evictEntry(CacheEntry &e);
@@ -265,6 +326,14 @@ class PvProxy : public SimObject, public MemClient
      */
     unsigned fairShare(unsigned capacity) const;
 
+    /**
+     * The cap the arbiter enforces on tenant `table` for resource
+     * `r`: the legacy fair share while every tenant carries the
+     * default contract (bit-identical to pre-QoS behavior), the
+     * weighted entitlement once any tenant sets a weight or floor.
+     */
+    unsigned shareLimit(unsigned table, PvQosArbiter::Resource r) const;
+
     Addr lineAddress(unsigned line) const
     {
         return region_.base() + Addr(line) * kBlockBytes;
@@ -273,6 +342,9 @@ class PvProxy : public SimObject, public MemClient
     PvProxyParams params_;
     PvRegionLayout region_;
     std::vector<Engine> engines_;
+    PvQosArbiter qos_;
+    /** PVCache entries held per tenant (occupancy charging). */
+    std::vector<unsigned> cacheOcc_;
     MemDevice *memSide_ = nullptr;
 
     std::vector<CacheEntry> entries_;

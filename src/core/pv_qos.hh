@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-tenant QoS for the multi-tenant PVProxy: the paper's core bet
+ * is that many predictors can share one virtualized backing store
+ * without destroying each other's latency (Section 4.3); the static
+ * fair-share reservation protects tenants only symmetrically. This
+ * arbiter generalizes it to configurable weights plus optional hard
+ * floors per shared resource — PVCache entries, proxy MSHR slots,
+ * and pattern-buffer entries — in the spirit of utility-based cache
+ * partitioning for shared LLCs (Qureshi & Patt, MICRO 2006): each
+ * tenant is entitled to its floor plus a weight-proportional share
+ * of the remainder, entitlements always summing to exactly the
+ * capacity, and the proxy charges occupancy per tenant to enforce
+ * them.
+ *
+ * A tenant whose every knob is default (weight 1, no floors) is a
+ * "default" tenant; while *all* tenants are default the arbiter
+ * stays inactive and the proxy runs the legacy fair-share policy
+ * bit-for-bit — equal-weight configurations and single-tenant
+ * systems reproduce the pre-QoS behavior exactly.
+ */
+
+#ifndef PVSIM_CORE_PV_QOS_HH
+#define PVSIM_CORE_PV_QOS_HH
+
+#include <array>
+#include <vector>
+
+namespace pvsim {
+
+/**
+ * QoS contract of one proxy tenant. Weight 0 marks a best-effort
+ * tenant: it is entitled only to its floors (none by default), so
+ * under contention its misses drop — it is starved, never
+ * deadlocked, because dropped operations still complete as
+ * predictor misses.
+ */
+struct PvTenantQos {
+    /** Proportional share of each shared resource's remainder
+     *  (after floors). The default weight of 1 makes all-default
+     *  proxies split resources evenly — the legacy policy. */
+    unsigned weight = 1;
+    /** Guaranteed PVCache entries (0 = no guarantee). */
+    unsigned pvCacheFloor = 0;
+    /** Guaranteed proxy MSHR slots. */
+    unsigned mshrFloor = 0;
+    /** Guaranteed pattern-buffer entries. */
+    unsigned patternBufferFloor = 0;
+
+    bool
+    isDefault() const
+    {
+        return weight == 1 && pvCacheFloor == 0 && mshrFloor == 0 &&
+               patternBufferFloor == 0;
+    }
+};
+
+/**
+ * The arbiter: owns every tenant's QoS contract and turns (weights,
+ * floors, capacity) into per-tenant entitlements for each shared
+ * proxy resource. Pure bookkeeping — the proxy asks for
+ * entitlements and applies them to its own admission and eviction
+ * decisions.
+ */
+class PvQosArbiter
+{
+  public:
+    enum Resource : unsigned {
+        PvCache = 0,
+        Mshrs = 1,
+        PatternBuffer = 2,
+        NumResources = 3,
+    };
+
+    /** Capacities of the three shared resources (from the proxy
+     *  params). Call before the first addTenant(). */
+    void setCapacities(unsigned pvcache_entries, unsigned mshrs,
+                       unsigned pattern_entries);
+
+    /** Register one tenant's contract; returns its index (the
+     *  proxy's table-id, by construction). */
+    unsigned addTenant(const PvTenantQos &qos);
+
+    /** Replace tenant t's contract (e.g. between warmup and
+     *  measurement); entitlements are recomputed immediately and
+     *  occupancy converges through normal eviction/admission. */
+    void setTenantQos(unsigned t, const PvTenantQos &qos);
+
+    const PvTenantQos &
+    tenantQos(unsigned t) const
+    {
+        return tenants_.at(t);
+    }
+
+    unsigned numTenants() const { return unsigned(tenants_.size()); }
+
+    /**
+     * True once any tenant carries a non-default contract. While
+     * false, the proxy must keep the legacy fair-share policy — the
+     * bit-identity guarantee for default configurations.
+     */
+    bool active() const { return active_; }
+
+    /**
+     * Slots of resource r tenant t is entitled to hold: its
+     * (clamped) floor plus its weight's share of the remaining
+     * capacity. Entitlements over all tenants sum to exactly the
+     * capacity, so strict enforcement can never deadlock the proxy.
+     */
+    unsigned
+    entitlement(unsigned t, Resource r) const
+    {
+        return entitlements_.at(t)[r];
+    }
+
+  private:
+    void recompute();
+
+    std::vector<PvTenantQos> tenants_;
+    std::array<unsigned, NumResources> caps_{{0, 0, 0}};
+    std::vector<std::array<unsigned, NumResources>> entitlements_;
+    bool active_ = false;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_CORE_PV_QOS_HH

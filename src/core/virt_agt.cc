@@ -18,8 +18,10 @@ agtCodec(const VirtAgtParams &p)
 
 VirtualizedAgt::VirtualizedAgt(PvProxy &proxy,
                                const std::string &name,
-                               const VirtAgtParams &params)
-    : VirtEngine(proxy, name, agtCodec(params), params.numSets),
+                               const VirtAgtParams &params,
+                               const PvTenantQos &qos)
+    : VirtEngine(proxy, name, agtCodec(params), params.numSets,
+                 qos),
       geom_(), blockBudget_(std::max(2u, params.blockBudget))
 {
 }

@@ -59,7 +59,8 @@ class VirtualizedAgt : public VirtEngine
 
     /** Register as a tenant of a shared, externally owned proxy. */
     VirtualizedAgt(PvProxy &proxy, const std::string &name,
-                   const VirtAgtParams &params);
+                   const VirtAgtParams &params,
+                   const PvTenantQos &qos = {});
 
     /** Completed generations go here (optional; default: dropped). */
     void setSink(GenerationSink sink) { sink_ = std::move(sink); }

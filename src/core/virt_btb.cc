@@ -18,8 +18,10 @@ btbCodec(unsigned assoc, unsigned tag_bits)
 VirtualizedBtb::VirtualizedBtb(PvProxy &proxy,
                                const std::string &name,
                                unsigned num_sets, unsigned assoc,
-                               unsigned tag_bits)
-    : VirtEngine(proxy, name, btbCodec(assoc, tag_bits), num_sets)
+                               unsigned tag_bits,
+                               const PvTenantQos &qos)
+    : VirtEngine(proxy, name, btbCodec(assoc, tag_bits), num_sets,
+                 qos)
 {
 }
 

@@ -40,7 +40,7 @@ class VirtualizedBtb : public VirtEngine, public BtbPredictor
     /** Register as a tenant of a shared, externally owned proxy. */
     VirtualizedBtb(PvProxy &proxy, const std::string &name,
                    unsigned num_sets, unsigned assoc,
-                   unsigned tag_bits);
+                   unsigned tag_bits, const PvTenantQos &qos = {});
 
     /** Own a private single-tenant proxy (original shape). */
     VirtualizedBtb(SimContext &ctx, const VirtBtbParams &params,

@@ -25,10 +25,11 @@ VirtEngine::makeSingleTenantProxy(SimContext &ctx,
 }
 
 VirtEngine::VirtEngine(PvProxy &proxy, const std::string &name,
-                       const PvSetCodec &codec, unsigned num_sets)
+                       const PvSetCodec &codec, unsigned num_sets,
+                       const PvTenantQos &qos)
     : proxy_(&proxy), name_(name), codec_(codec),
       tableId_(proxy.registerEngine(
-          {name, num_sets, codec.usedBits()})),
+          {name, num_sets, codec.usedBits(), qos})),
       table_(&proxy, tableId_, codec_)
 {
 }

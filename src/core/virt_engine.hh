@@ -42,6 +42,9 @@ struct VirtEngineConfig {
     unsigned assoc = 8;
     /** Tag bits per entry (BTB and stride). */
     unsigned tagBits = 16;
+    /** QoS contract on the shared per-core proxy (pv_qos.hh); the
+     *  default keeps the legacy fair-share policy. */
+    PvTenantQos qos;
 
     std::string
     scopeName() const
@@ -62,9 +65,13 @@ class VirtEngine
      *                 scope "<proxy>.<name>".
      * @param codec    Packing geometry of this engine's sets.
      * @param num_sets Sets in the virtualized table.
+     * @param qos      QoS contract over the proxy's shared PVCache,
+     *                 MSHRs and pattern buffer (pv_qos.hh); the
+     *                 default keeps the legacy fair-share policy.
      */
     VirtEngine(PvProxy &proxy, const std::string &name,
-               const PvSetCodec &codec, unsigned num_sets);
+               const PvSetCodec &codec, unsigned num_sets,
+               const PvTenantQos &qos = {});
 
     /**
      * Single-tenant convenience: build and own a private proxy whose
@@ -113,6 +120,18 @@ class VirtEngine
     PvProxy::EngineStats &engineStats()
     {
         return proxy_->engineStats(tableId_);
+    }
+
+    /** This tenant's QoS contract on the shared proxy. */
+    const PvTenantQos &qos() const
+    {
+        return proxy_->tenantQos(tableId_);
+    }
+
+    /** Replace this tenant's QoS contract at runtime. */
+    void setQos(const PvTenantQos &qos)
+    {
+        proxy_->setTenantQos(tableId_, qos);
     }
 
     /**

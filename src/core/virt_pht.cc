@@ -24,8 +24,10 @@ phtCodec(unsigned num_sets, unsigned assoc)
 
 VirtualizedPht::VirtualizedPht(PvProxy &proxy,
                                const std::string &name,
-                               unsigned num_sets, unsigned assoc)
-    : VirtEngine(proxy, name, phtCodec(num_sets, assoc), num_sets)
+                               unsigned num_sets, unsigned assoc,
+                               const PvTenantQos &qos)
+    : VirtEngine(proxy, name, phtCodec(num_sets, assoc), num_sets,
+                 qos)
 {
 }
 

@@ -40,9 +40,11 @@ class VirtualizedPht : public PatternHistoryTable, public VirtEngine
      * @param name     Engine/stats name (e.g. "pht").
      * @param num_sets Table sets.
      * @param assoc    Entries per set.
+     * @param qos      Tenant QoS contract (default: fair share).
      */
     VirtualizedPht(PvProxy &proxy, const std::string &name,
-                   unsigned num_sets, unsigned assoc);
+                   unsigned num_sets, unsigned assoc,
+                   const PvTenantQos &qos = {});
 
     /**
      * Own a private single-tenant proxy (the seed's original shape).

@@ -18,8 +18,10 @@ strideCodec(const VirtStrideParams &p)
 
 VirtualizedStride::VirtualizedStride(PvProxy &proxy,
                                      const std::string &name,
-                                     const VirtStrideParams &params)
-    : VirtEngine(proxy, name, strideCodec(params), params.numSets),
+                                     const VirtStrideParams &params,
+                                     const PvTenantQos &qos)
+    : VirtEngine(proxy, name, strideCodec(params), params.numSets,
+                 qos),
       threshold_(params.threshold)
 {
 }

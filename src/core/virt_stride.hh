@@ -45,7 +45,8 @@ class VirtualizedStride : public VirtEngine
 
     /** Register as a tenant of a shared, externally owned proxy. */
     VirtualizedStride(PvProxy &proxy, const std::string &name,
-                      const VirtStrideParams &params);
+                      const VirtStrideParams &params,
+                      const PvTenantQos &qos = {});
 
     /** Own a private single-tenant proxy. */
     VirtualizedStride(SimContext &ctx, const VirtStrideParams &params,

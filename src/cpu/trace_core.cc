@@ -38,6 +38,9 @@ TraceCore::TraceCore(SimContext &ctx, const CoreParams &params,
               "taken branches whose target the BTB predicted"),
       btbMispredicts(this, "btb_mispredicts",
                      "taken branches the BTB missed or mistargeted"),
+      btbUnavailable(this, "btb_unavailable",
+                     "taken-branch lookups unanswered at fetch time "
+                     "(prediction still waiting on its PV fill)"),
       stridePredicts(this, "stride_predicts",
                      "confident stride-table predictions"),
       strideHits(this, "stride_hits",
@@ -89,6 +92,8 @@ TraceCore::noteRecordBoundary()
                 else
                     ++btbMispredicts;
             });
+            if (!lookupResolved_)
+                ++btbUnavailable;
             if (isTiming() && params_.btbMispredictPenalty > 0 &&
                 !(lookupResolved_ && lookupCorrect_)) {
                 pendingRedirect_ = true;

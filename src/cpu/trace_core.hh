@@ -163,6 +163,12 @@ class TraceCore final : public SimObject, public MemClient
     stats::Scalar loopBranches;    ///< ... of which loop back-edges
     stats::Scalar btbHits;         ///< BTB predicted the right target
     stats::Scalar btbMispredicts;  ///< BTB missed or predicted wrong
+    /** Lookups unanswered at fetch time (a virtualized BTB waiting
+     *  on its PV fill). Each one charges a redirect in timing mode
+     *  whatever the late answer turns out to be — these are the
+     *  availability redirects per-tenant QoS exists to protect. A
+     *  dedicated BTB answers synchronously, so its count is zero. */
+    stats::Scalar btbUnavailable;
     stats::Scalar stridePredicts;  ///< confident stride predictions
     stats::Scalar strideHits;      ///< ... matching the actual block
 

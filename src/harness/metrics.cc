@@ -141,12 +141,17 @@ meanCi(const std::vector<double> &samples)
     return r;
 }
 
+namespace {
+
+/**
+ * The one warmup -> resetStats -> measure protocol every timing
+ * harness entry runs, collecting the TimedRun scoreboard; callers
+ * keep the System to harvest additional stats afterwards.
+ */
 TimedRun
-timedRun(SystemConfig cfg, uint64_t warmup_records,
-         uint64_t measure_records)
+runMeasured(System &sys, uint64_t warmup_records,
+            uint64_t measure_records)
 {
-    cfg.mode = SimMode::Timing;
-    System sys(cfg);
     if (warmup_records > 0)
         sys.runTiming(warmup_records);
     Tick start = sys.ctx().curTick();
@@ -157,8 +162,20 @@ timedRun(SystemConfig cfg, uint64_t warmup_records,
     for (int c = 0; c < sys.numCores(); ++c) {
         r.btbHits += sys.core(c).btbHits.value();
         r.btbMispredicts += sys.core(c).btbMispredicts.value();
+        r.btbUnavailable += sys.core(c).btbUnavailable.value();
     }
     return r;
+}
+
+} // anonymous namespace
+
+TimedRun
+timedRun(SystemConfig cfg, uint64_t warmup_records,
+         uint64_t measure_records)
+{
+    cfg.mode = SimMode::Timing;
+    System sys(cfg);
+    return runMeasured(sys, warmup_records, measure_records);
 }
 
 double
@@ -339,6 +356,201 @@ fig9Sweep(const Fig9Options &opt)
             row.ciPct = ci.halfWidth;
             rows.push_back(std::move(row));
         }
+    }
+    return rows;
+}
+
+// ---- Per-tenant QoS contention sweep ----------------------------------
+
+std::vector<QosSetting>
+presetQosSettings()
+{
+    std::vector<QosSetting> s;
+    auto weights = [](const std::string &label, unsigned btb_w,
+                      unsigned agg_w) {
+        QosSetting q;
+        q.label = label;
+        q.btb.weight = btb_w;
+        q.aggressor.weight = agg_w;
+        return q;
+    };
+    // The first setting is the baseline every delta is computed
+    // against: default contracts, i.e. the legacy fair share.
+    s.push_back(weights("equal", 1, 1));
+    s.push_back(weights("2:1", 2, 1));
+    s.push_back(weights("4:1", 4, 1));
+    s.push_back(weights("8:1", 8, 1));
+    // Floors instead of weights: equal weighting of the remainder,
+    // but the BTB is guaranteed most of each resource outright —
+    // and unlike 4:1/8:1 (whose MSHR split rounds the aggressor to
+    // zero slots), the aggressor keeps one MSHR, so this is the
+    // "protect without killing" contract.
+    QosSetting floors = weights("equal+floor", 1, 1);
+    floors.btb.pvCacheFloor = 10;
+    floors.btb.mshrFloor = 2;
+    floors.btb.patternBufferFloor = 12;
+    s.push_back(floors);
+    return s;
+}
+
+SystemConfig
+qosConfig(const QosOptions &opt, const QosSetting &s)
+{
+    // The branchiest preset mix: learnable streams with enough
+    // distinct routines to thrash the PVCache — the profile under
+    // which PR 4 measured the widest availability gap.
+    WorkloadMix mix;
+    for (const WorkloadMix &m : presetMixes()) {
+        if (m.name == "mixed")
+            mix = m;
+    }
+    pv_assert(!mix.workloads.empty(), "preset mix 'mixed' missing");
+
+    SystemConfig cfg;
+    cfg.mode = SimMode::Timing;
+    cfg.numCores = opt.numCores;
+    cfg.workloadMix = mix.workloads;
+    cfg.branchProfile = mix.branch;
+    // No data prefetcher: the aggressor is the only other tenant,
+    // so the BTB deltas isolate the proxy contention effect.
+    cfg.prefetch = PrefetchMode::None;
+    cfg.btbMispredictPenalty = opt.penalty;
+    cfg.btb.mode = BtbMode::Virtualized;
+    cfg.btb.numSets = opt.btbSets;
+    cfg.btb.assoc = opt.btbAssoc;
+    cfg.btb.qos = s.btb;
+    cfg.pvCacheEntries = opt.pvCacheEntries;
+
+    VirtEngineConfig agg;
+    agg.kind = VirtEngineKind::Agt;
+    agg.numSets = opt.agtSets;
+    // AGT entries are 54-bit payloads: 4 ways x 12-bit tags is the
+    // widest packing that fits a 64-byte line.
+    agg.assoc = 4;
+    agg.tagBits = 12;
+    agg.qos = s.aggressor;
+    cfg.virtEngines.push_back(agg);
+
+    cfg.pvBytesPerCore = std::max<uint64_t>(
+        cfg.pvBytesPerCore,
+        uint64_t(opt.btbSets + opt.agtSets) * kBlockBytes);
+    return cfg;
+}
+
+namespace {
+
+/** Everything one QoS run yields beyond TimedRun: per-tenant proxy
+ *  pressure summed over the cores' proxies. */
+struct QosRun {
+    TimedRun timed;
+    uint64_t btbOps = 0;
+    uint64_t btbDrops = 0;
+    uint64_t btbFills = 0;
+    uint64_t btbFillTicks = 0;
+    uint64_t aggOps = 0;
+    uint64_t aggDrops = 0;
+};
+
+QosRun
+qosRun(SystemConfig cfg, uint64_t warmup_records,
+       uint64_t measure_records)
+{
+    cfg.mode = SimMode::Timing;
+    System sys(cfg);
+    QosRun r;
+    r.timed = runMeasured(sys, warmup_records, measure_records);
+    for (int c = 0; c < sys.numCores(); ++c) {
+        PvProxy::EngineStats &bs = sys.virtBtb(c)->engineStats();
+        r.btbOps += bs.operations.value();
+        r.btbDrops += bs.drops.value();
+        r.btbFills += bs.fills.value();
+        r.btbFillTicks += bs.fillLatencyTicks.value();
+        PvProxy::EngineStats &as = sys.virtAgt(c)->engineStats();
+        r.aggOps += as.operations.value();
+        r.aggDrops += as.drops.value();
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+std::vector<QosRow>
+qosSweep(const QosOptions &opt)
+{
+    pv_assert(opt.batches > 0, "qosSweep needs at least one batch");
+    const std::vector<QosSetting> settings =
+        opt.settings.empty() ? presetQosSettings() : opt.settings;
+    const unsigned batches = opt.batches;
+
+    // Job layout: setting-major, then batch; every run is a
+    // self-contained System, so the (setting, batch) grid shards
+    // flat across the worker pool with bit-identical results.
+    std::vector<QosRun> runs(settings.size() * batches);
+    forEachBatch(unsigned(runs.size()), [&](unsigned j) {
+        SystemConfig cfg =
+            qosConfig(opt, settings[j / batches]);
+        cfg.seedOffset = j % batches;
+        runs[j] = qosRun(cfg, opt.warmupRecords,
+                         opt.measureRecords);
+    });
+
+    std::vector<QosRow> rows;
+    rows.reserve(settings.size());
+    for (size_t s = 0; s < settings.size(); ++s) {
+        const QosRun *mine = &runs[s * batches];
+        const QosRun *base = &runs[0]; // first setting, same seeds
+        QosRow row;
+        row.label = settings[s].label;
+        row.btbWeight = settings[s].btb.weight;
+        row.aggressorWeight = settings[s].aggressor.weight;
+
+        TimedRun all, base_all;
+        double ipc_sum = 0.0;
+        uint64_t ops = 0, drops = 0, fills = 0, fill_ticks = 0;
+        uint64_t agg_ops = 0, agg_drops = 0;
+        std::vector<double> delta(batches, 0.0);
+        for (unsigned b = 0; b < batches; ++b) {
+            ipc_sum += mine[b].timed.ipc;
+            all.btbHits += mine[b].timed.btbHits;
+            all.btbMispredicts += mine[b].timed.btbMispredicts;
+            all.btbUnavailable += mine[b].timed.btbUnavailable;
+            base_all.btbHits += base[b].timed.btbHits;
+            base_all.btbMispredicts +=
+                base[b].timed.btbMispredicts;
+            base_all.btbUnavailable +=
+                base[b].timed.btbUnavailable;
+            ops += mine[b].btbOps;
+            drops += mine[b].btbDrops;
+            fills += mine[b].btbFills;
+            fill_ticks += mine[b].btbFillTicks;
+            agg_ops += mine[b].aggOps;
+            agg_drops += mine[b].aggDrops;
+            delta[b] = base[b].timed.ipc > 0.0
+                           ? 100.0 * (mine[b].timed.ipc /
+                                          base[b].timed.ipc -
+                                      1.0)
+                           : 0.0;
+        }
+        row.ipc = ipc_sum / double(batches);
+        row.availRedirectPct =
+            100.0 * all.btbAvailabilityRedirectRate();
+        row.btbHitPct = 100.0 * all.btbHitRate();
+        row.btbDropPct =
+            ops ? 100.0 * double(drops) / double(ops) : 0.0;
+        row.aggressorDropPct =
+            agg_ops ? 100.0 * double(agg_drops) / double(agg_ops)
+                    : 0.0;
+        row.btbFillLatency =
+            fills ? double(fill_ticks) / double(fills) : 0.0;
+        row.ipcDeltaPct = meanCi(delta).mean;
+        double base_rate =
+            100.0 * base_all.btbAvailabilityRedirectRate();
+        row.availImprovementPct =
+            base_rate > 0.0
+                ? 100.0 * (base_rate - row.availRedirectPct) /
+                      base_rate
+                : 0.0;
+        rows.push_back(std::move(row));
     }
     return rows;
 }

@@ -114,6 +114,9 @@ struct TimedRun {
     double ipc = 0.0;
     uint64_t btbHits = 0;        ///< summed over cores, measure phase
     uint64_t btbMispredicts = 0;
+    /** Lookups unanswered at fetch (virtualized BTB waiting on its
+     *  PV fill) — the availability redirects QoS protects. */
+    uint64_t btbUnavailable = 0;
 
     /** Taken-branch target hit rate of the attached BTBs. */
     double
@@ -121,6 +124,16 @@ struct TimedRun {
     {
         uint64_t scored = btbHits + btbMispredicts;
         return scored ? double(btbHits) / double(scored) : 0.0;
+    }
+
+    /** Fraction of scored taken branches whose prediction was not
+     *  available at fetch time. */
+    double
+    btbAvailabilityRedirectRate() const
+    {
+        uint64_t scored = btbHits + btbMispredicts;
+        return scored ? double(btbUnavailable) / double(scored)
+                      : 0.0;
     }
 };
 
@@ -246,6 +259,88 @@ SystemConfig fig9Config(const WorkloadMix &mix,
  * and independent of the worker count.
  */
 std::vector<Fig9Row> fig9Sweep(const Fig9Options &opt);
+
+// ---- Per-tenant QoS contention sweep ----------------------------------
+
+/**
+ * One weight setting of the QoS contention experiment: the
+ * contracts of the latency-critical virtualized BTB and of the
+ * bandwidth-hungry AGT aggressor sharing its per-core proxy.
+ */
+struct QosSetting {
+    std::string label;      ///< e.g. "4:1" or "equal+floor"
+    PvTenantQos btb;        ///< latency-critical tenant
+    PvTenantQos aggressor;  ///< bandwidth-hungry tenant
+};
+
+/**
+ * The standard sweep: equal weights (the baseline the others are
+ * compared against), 2:1 / 4:1 / 8:1 in the BTB's favor, and an
+ * equal-weight setting that protects the BTB through hard floors
+ * instead.
+ */
+std::vector<QosSetting> presetQosSettings();
+
+/** Knobs of the BTB-vs-aggressor QoS protection experiment. */
+struct QosOptions {
+    int numCores = 2;
+    /** Virtualized BTB geometry (the protected tenant). Small
+     *  enough that a protected PVCache share actually covers a
+     *  useful fraction of the hot sets — with a 512-set BTB the
+     *  tenant thrashes itself and the aggressor's marginal damage
+     *  (the thing QoS can remove) shrinks below 10%. */
+    unsigned btbSets = 128;
+    unsigned btbAssoc = 8;
+    /** AGT aggressor geometry: every data reference is one RMW
+     *  proxy operation, so this tenant is bandwidth-hungry by
+     *  construction. */
+    unsigned agtSets = 512;
+    /** Front-end redirect cost per mispredict (cycles). */
+    Cycles penalty = 8;
+    /** Shared PVCache entries per proxy (2x the paper's 8: the
+     *  partitioning experiment needs enough ways to split). */
+    unsigned pvCacheEntries = 16;
+    uint64_t warmupRecords = 20'000;  ///< per core
+    uint64_t measureRecords = 60'000; ///< per core
+    unsigned batches = 2;             ///< matched batches per setting
+    /** Settings to run; empty means presetQosSettings(). The first
+     *  is the baseline the deltas are computed against. */
+    std::vector<QosSetting> settings;
+};
+
+/** One setting's outcome (batch-aggregated; deltas are matched-seed
+ *  against the first setting). */
+struct QosRow {
+    std::string label;
+    unsigned btbWeight = 0;
+    unsigned aggressorWeight = 0;
+    double ipc = 0.0; ///< mean aggregate IPC across batches
+    /** BTB availability-redirect rate: lookups unanswered at fetch
+     *  per scored taken branch (percent). */
+    double availRedirectPct = 0.0;
+    double btbHitPct = 0.0;
+    /** Proxy-level per-tenant pressure. */
+    double btbDropPct = 0.0;       ///< BTB ops dropped (percent)
+    double aggressorDropPct = 0.0; ///< aggressor ops dropped
+    double btbFillLatency = 0.0;   ///< mean ticks per BTB fill
+    /** Matched-seed IPC delta vs the first (baseline) setting. */
+    double ipcDeltaPct = 0.0;
+    /** Relative reduction of availRedirectPct vs the baseline
+     *  setting (positive = the BTB is better protected). */
+    double availImprovementPct = 0.0;
+};
+
+/** Config of one QoS run (exposed so tests can pin it down). */
+SystemConfig qosConfig(const QosOptions &opt, const QosSetting &s);
+
+/**
+ * Run the QoS contention sweep: a virtualized BTB vs an AGT
+ * aggressor on every core's shared proxy, across the weight
+ * settings, matched seeds per batch, (setting, batch) jobs sharded
+ * over effectiveHarnessJobs() workers. Deterministic and
+ * independent of the worker count.
+ */
+std::vector<QosRow> qosSweep(const QosOptions &opt);
 
 } // namespace pvsim
 

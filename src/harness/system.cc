@@ -182,7 +182,7 @@ System::System(const SystemConfig &cfg)
                   case VirtEngineKind::Pht: {
                     auto e = std::make_unique<VirtualizedPht>(
                         *pvproxy, ec.scopeName(), ec.numSets,
-                        ec.assoc);
+                        ec.assoc, ec.qos);
                     pht = e.get();
                     engines.push_back(std::move(e));
                     break;
@@ -190,7 +190,7 @@ System::System(const SystemConfig &cfg)
                   case VirtEngineKind::Btb: {
                     auto e = std::make_unique<VirtualizedBtb>(
                         *pvproxy, ec.scopeName(), ec.numSets,
-                        ec.assoc, ec.tagBits);
+                        ec.assoc, ec.tagBits, ec.qos);
                     if (!first_btb)
                         first_btb = e.get();
                     engines.push_back(std::move(e));
@@ -202,7 +202,7 @@ System::System(const SystemConfig &cfg)
                     sp.assoc = ec.assoc;
                     sp.tagBits = ec.tagBits;
                     auto e = std::make_unique<VirtualizedStride>(
-                        *pvproxy, ec.scopeName(), sp);
+                        *pvproxy, ec.scopeName(), sp, ec.qos);
                     if (!first_stride)
                         first_stride = e.get();
                     engines.push_back(std::move(e));
@@ -214,7 +214,7 @@ System::System(const SystemConfig &cfg)
                     ap.assoc = ec.assoc;
                     ap.tagBits = ec.tagBits;
                     auto e = std::make_unique<VirtualizedAgt>(
-                        *pvproxy, ec.scopeName(), ap);
+                        *pvproxy, ec.scopeName(), ap, ec.qos);
                     if (!first_agt)
                         first_agt = e.get();
                     engines.push_back(std::move(e));

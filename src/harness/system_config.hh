@@ -50,6 +50,9 @@ struct BtbConfig {
     unsigned numSets = 512;
     unsigned assoc = 8;
     unsigned tagBits = 16;
+    /** QoS contract of the virtualized BTB tenant on the shared
+     *  per-core proxy (ignored for Dedicated/None). */
+    PvTenantQos qos;
 };
 
 /** Full configuration of one simulated system. */
@@ -111,6 +114,9 @@ struct SystemConfig {
     PrefetchMode prefetch = PrefetchMode::None;
     /** PHT geometry (dedicated and virtualized): default 1K-11a. */
     PhtGeometry phtGeometry{1024, 11};
+    /** QoS contract of the implicit virtualized-PHT tenant
+     *  (SmsVirtualized only). */
+    PvTenantQos phtQos;
     /** PVCache entries for the virtualized PHT (paper: 8). */
     unsigned pvCacheEntries = 8;
     /** Paper Section 2.2 ablation: drop dirty PV lines at L2 evict. */
@@ -147,6 +153,7 @@ struct SystemConfig {
             pht.kind = VirtEngineKind::Pht;
             pht.numSets = phtGeometry.numSets;
             pht.assoc = phtGeometry.assoc;
+            pht.qos = phtQos;
             r.push_back(pht);
         }
         if (btb.mode == BtbMode::Virtualized) {
@@ -155,6 +162,7 @@ struct SystemConfig {
             vb.numSets = btb.numSets;
             vb.assoc = btb.assoc;
             vb.tagBits = btb.tagBits;
+            vb.qos = btb.qos;
             r.push_back(vb);
         }
         r.insert(r.end(), virtEngines.begin(), virtEngines.end());

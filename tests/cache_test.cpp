@@ -24,10 +24,15 @@ struct TestClient : public MemClient {
     std::vector<Addr> invalidated;
     std::vector<Addr> downgraded;
 
-    ~TestClient() override
+    ~TestClient() override { clearResponses(); }
+
+    /** Free and forget every stored response (mid-test reset). */
+    void
+    clearResponses()
     {
         for (auto *p : responses)
             delete p;
+        responses.clear();
     }
 
     void recvResponse(PacketPtr pkt) override
@@ -441,7 +446,7 @@ TEST_F(TimingCacheTest, HitLatencyIsTagPlusData)
     build();
     cache->recvRequest(makeRead(0x1000));
     ctx.events().runUntil();
-    client.responses.clear();
+    client.clearResponses();
 
     Tick start = ctx.curTick();
     cache->recvRequest(makeRead(0x1000));
@@ -517,7 +522,7 @@ TEST_F(TimingCacheTest, ProbeAccessHitIsSynchronous)
     build();
     cache->recvRequest(makeRead(0x1000));
     ctx.events().runUntil();
-    client.responses.clear();
+    client.clearResponses();
 
     PacketPtr pkt = makeRead(0x1000);
     EXPECT_TRUE(cache->probeAccess(pkt));
@@ -578,8 +583,6 @@ TEST_F(TimingCacheTest, NoLeaksAfterTimingRun)
     }
     ctx.events().runUntil();
     EXPECT_EQ(client.responses.size(), 20u);
-    for (auto *p : client.responses)
-        delete p;
-    client.responses.clear();
+    client.clearResponses();
     EXPECT_EQ(Packet::liveCount(), before);
 }

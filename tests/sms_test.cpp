@@ -30,6 +30,16 @@ struct SmsTest : public ::testing::Test {
     void
     build(bool virtualized = false)
     {
+        // Tear down the previous machine children-first: assigning
+        // ctxp below destroys the old SimContext, and every
+        // SimObject's stats group unregisters from it on
+        // destruction — stale devices must not outlive it.
+        sms.reset();
+        virt_pht.reset();
+        inf_pht.reset();
+        l1.reset();
+        l2.reset();
+        dram.reset();
         ctxp = std::make_unique<SimContext>(SimMode::Functional);
         dram = std::make_unique<Dram>(
             *ctxp, DramParams{"dram", 400, 0}, &amap);

@@ -240,7 +240,7 @@ TEST_F(SharedProxyTest, FairShareReservesAnMshrForEachTenant)
 TEST_F(SharedProxyTest, DuplicateTenantNamesAreRejected)
 {
     build();
-    EXPECT_DEATH(proxy->registerEngine({"pht", 16, 100}),
+    EXPECT_DEATH(proxy->registerEngine({"pht", 16, 100, {}}),
                  "duplicate tenant name");
 }
 
@@ -252,7 +252,7 @@ TEST_F(SharedProxyTest, RegionOvercommitIsRejected)
     unsigned free_lines =
         unsigned(proxy->region().bytesFree() / kBlockBytes);
     EXPECT_DEATH(proxy->registerEngine(
-                     {"huge", free_lines + 1, 100}),
+                     {"huge", free_lines + 1, 100, {}}),
                  "overcommitted");
 }
 

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI smoke runs.
+
+Compares freshly produced BENCH_*.json artifacts against the
+committed baselines in tools/baselines/ with a tolerance band, and
+fails (exit 1) on drift — so a PR that silently degrades the
+dedicated-vs-virtualized deltas, the stepping harness, or the QoS
+protection result breaks the build instead of only uploading a
+different artifact.
+
+What is gated, and why these tolerances:
+
+* fig9 (BENCH_fig9.json): per-(mix, stability) row, the
+  dedicated-vs-virtualized speedup delta must stay within
+  --fig9-tol-pp percentage points of the baseline, hit rates within
+  --hit-tol-pp, and IPCs within --ipc-rel-tol relative. The smoke
+  run is deterministic for a given source tree (fixed seeds,
+  matched pairs), so the band only needs to absorb
+  compiler/platform floating-point wiggle.
+* stepping (BENCH_stepping.json): the threaded harness must report
+  bit_identical=true (the correctness property), every throughput
+  must be positive, and the structural speedups that PRs 2/4 bought
+  (bulk-fread trace replay, pooled payload allocation) must not
+  collapse; wall-clock noise on shared CI runners is absorbed by
+  generous floors on the *ratios*, never on absolute rates.
+* qos (BENCH_qos.json): per-setting row, availability-redirect and
+  protection percentages within --hit-tol-pp of the baseline, and
+  the best protection across settings must stay positive — the
+  experiment's reason to exist.
+
+Usage (CI runs this from build-release/):
+  check_bench.py --baseline-dir ../tools/baselines \
+      --fig9 BENCH_fig9.json --stepping BENCH_stepping.json \
+      --qos BENCH_qos.json
+Any artifact flag may be omitted to skip that gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.checks = 0
+
+    def check(self, ok, msg):
+        self.checks += 1
+        if not ok:
+            self.failures.append(msg)
+            print(f"FAIL: {msg}")
+
+    def close(self, band, tol, label):
+        self.check(
+            abs(band) <= tol,
+            f"{label}: drift {band:+.4f} exceeds tolerance {tol}",
+        )
+
+
+def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
+    base_rows = {
+        (r["mix"], round(r["edge_stability"], 6)): r
+        for r in baseline["rows"]
+    }
+    cur_rows = {
+        (r["mix"], round(r["edge_stability"], 6)): r
+        for r in current["rows"]
+    }
+    gate.check(
+        set(base_rows) <= set(cur_rows),
+        f"fig9: rows missing vs baseline: "
+        f"{sorted(set(base_rows) - set(cur_rows))}",
+    )
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            continue
+        label = f"fig9 {key[0]}@{key[1]}"
+        gate.close(
+            cur["speedup_pct"] - base["speedup_pct"],
+            tol_pp,
+            f"{label} speedup_pct",
+        )
+        for field in ("dedicated_hit_pct", "virtualized_hit_pct"):
+            gate.close(
+                cur[field] - base[field], hit_tol_pp,
+                f"{label} {field}",
+            )
+        for field in ("dedicated_ipc", "virtualized_ipc"):
+            b = base[field]
+            gate.check(b > 0, f"{label} baseline {field} is zero")
+            if b > 0:
+                gate.close(
+                    cur[field] / b - 1.0, ipc_rel,
+                    f"{label} {field} (relative)",
+                )
+
+
+def check_stepping(gate, current):
+    pair = current.get("harness_matched_pair", {})
+    gate.check(
+        pair.get("bit_identical") is True,
+        "stepping: threaded harness no longer bit-identical",
+    )
+    for section, rates in current.items():
+        if not isinstance(rates, dict):
+            continue
+        for field, value in rates.items():
+            if field.endswith("_per_s"):
+                gate.check(
+                    isinstance(value, (int, float)) and value > 0,
+                    f"stepping: {section}.{field} is not positive",
+                )
+    # Structural wins (same-process base/fast ratios, so stable on
+    # noisy runners): bulk-fread replay bought ~2.5x, pooled
+    # payloads ~3.3x. Gate well below the measured values — these
+    # floors catch a regression to the pre-optimization path, not
+    # run-to-run noise.
+    floors = {"trace_file_replay": 1.3, "payload_alloc": 1.5}
+    for section, floor in floors.items():
+        speedup = current.get(section, {}).get("speedup", 0)
+        gate.check(
+            speedup >= floor,
+            f"stepping: {section}.speedup {speedup:.2f} below "
+            f"floor {floor} — structural optimization regressed",
+        )
+
+
+def check_qos(gate, current, baseline, hit_tol_pp):
+    base_rows = {r["setting"]: r for r in baseline["rows"]}
+    cur_rows = {r["setting"]: r for r in current["rows"]}
+    gate.check(
+        set(base_rows) <= set(cur_rows),
+        f"qos: settings missing vs baseline: "
+        f"{sorted(set(base_rows) - set(cur_rows))}",
+    )
+    for label, base in base_rows.items():
+        cur = cur_rows.get(label)
+        if cur is None:
+            continue
+        gate.check(
+            cur["ipc"] > 0, f"qos {label}: zero IPC"
+        )
+        for field in ("avail_redirect_pct", "avail_improvement_pct"):
+            gate.close(
+                cur[field] - base[field], hit_tol_pp,
+                f"qos {label} {field}",
+            )
+    best = max(
+        (r["avail_improvement_pct"] for r in current["rows"]),
+        default=0.0,
+    )
+    gate.check(
+        best > 0.0,
+        f"qos: no setting protects the BTB (best {best:.1f}%)",
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--baseline-dir", default="tools/baselines")
+    ap.add_argument("--fig9", help="fresh BENCH_fig9.json")
+    ap.add_argument("--stepping", help="fresh BENCH_stepping.json")
+    ap.add_argument("--qos", help="fresh BENCH_qos.json")
+    ap.add_argument(
+        "--fig9-tol-pp", type=float, default=1.0,
+        help="abs tolerance on fig9 speedup_pct (percentage points)",
+    )
+    ap.add_argument(
+        "--hit-tol-pp", type=float, default=6.0,
+        help="abs tolerance on hit/redirect percentages (points)",
+    )
+    ap.add_argument(
+        "--ipc-rel-tol", type=float, default=0.15,
+        help="relative tolerance on per-row IPC values",
+    )
+    args = ap.parse_args()
+
+    gate = Gate()
+    if args.fig9:
+        check_fig9(
+            gate, load(args.fig9),
+            load(f"{args.baseline_dir}/BENCH_fig9.smoke.json"),
+            args.fig9_tol_pp, args.hit_tol_pp, args.ipc_rel_tol,
+        )
+    if args.stepping:
+        check_stepping(gate, load(args.stepping))
+    if args.qos:
+        check_qos(
+            gate, load(args.qos),
+            load(f"{args.baseline_dir}/BENCH_qos.smoke.json"),
+            args.hit_tol_pp,
+        )
+
+    if not gate.checks:
+        print("check_bench: nothing to check (pass --fig9/...)")
+        return 1
+    if gate.failures:
+        print(
+            f"check_bench: {len(gate.failures)} of {gate.checks} "
+            f"checks FAILED"
+        )
+        return 1
+    print(f"check_bench: all {gate.checks} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
