@@ -14,22 +14,89 @@
  * Emits a BENCH_fig9.json summary (stdout table + file) so
  * successive PRs can compare trajectories.
  *
+ * The --shards/--quantum knobs engage the sharded timing mode
+ * inside every System of the sweep; the many-core section (64 cores
+ * by default) runs one serial-vs-auto-sharded pair, asserts their
+ * stats dumps are bit-identical, and records the wall-clock speedup
+ * and events/sec for the perf gate.
+ *
  *   fig9_sweep [--penalty N] [--btb-sets N] [--batches N]
  *              [--warmup-records N] [--measure-records N]
  *              [--cores N] [--edge-stability default,0.8,...]
+ *              [--shards N] [--quantum N]
+ *              [--skip-many-core] [--many-core-cores N]
+ *              [--many-core-records N]
  *              [--json-out FILE] [--csv] [--smoke]
  */
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
+#include "bench_common.hh"
 #include "harness/metrics.hh"
+#include "harness/system.hh"
 #include "harness/table.hh"
 #include "util/args.hh"
 
 using namespace pvsim;
+using namespace pvsim::bench;
+
+namespace {
+
+/** One timing run of the many-core scaling experiment. */
+struct ManyCoreRun {
+    unsigned shards = 1;   ///< effective shard count
+    double ipc = 0.0;
+    double wallSeconds = 0.0;
+    uint64_t events = 0;
+    std::string stats;     ///< full stats dump (identity check)
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0 ? double(events) / wallSeconds
+                                 : 0.0;
+    }
+};
+
+/**
+ * Run `cores` cores over the standard heterogeneous mix for
+ * `records` records each, with the given shard request. The quantum
+ * is always pinned (to the L2 data latency) so the serial reference
+ * (shards=1) runs the same quantum machinery as the sharded run and
+ * the stats dumps can be compared bit-for-bit.
+ */
+ManyCoreRun
+manyCoreRun(unsigned cores, unsigned shards, uint64_t records)
+{
+    SystemConfig cfg;
+    cfg.mode = SimMode::Timing;
+    cfg.numCores = int(cores);
+    cfg.workloadMix = {"apache", "qry2", "db2", "zeus"};
+    cfg.timingShards = shards;
+    cfg.syncQuantum = cfg.l2DataLatency;
+    System sys(cfg);
+
+    ManyCoreRun r;
+    r.shards = sys.timingShardsEffective();
+    auto t0 = std::chrono::steady_clock::now();
+    Tick finish = sys.runTiming(records);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    r.wallSeconds = wall.count();
+    r.events = sys.eventsExecuted();
+    r.ipc = aggregateIpc(sys.totalInstructions(), finish);
+    std::ostringstream os;
+    sys.ctx().dumpStats(os);
+    r.stats = os.str();
+    return r;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -48,6 +115,15 @@ main(int argc, char **argv)
         args.getUint("warmup-records", smoke ? 1'000 : 20'000);
     opt.measureRecords =
         args.getUint("measure-records", smoke ? 3'000 : 60'000);
+    opt.timingShards =
+        unsigned(args.getUint("shards", opt.timingShards));
+    opt.syncQuantum =
+        Cycles(args.getUint("quantum", opt.syncQuantum));
+    const bool skip_many_core = args.getBool("skip-many-core", false);
+    const unsigned many_core_cores =
+        unsigned(args.getUint("many-core-cores", 64));
+    const uint64_t many_core_records =
+        args.getUint("many-core-records", smoke ? 600 : 3'000);
     const std::string json_out =
         args.getString("json-out", "BENCH_fig9.json");
 
@@ -85,6 +161,7 @@ main(int argc, char **argv)
     const unsigned total_jobs =
         unsigned(presetMixes().size() * opt.edgeStabilities.size()) *
         2 * opt.batches;
+    const unsigned jobs_requested = harnessJobs();
     const unsigned jobs_effective = effectiveHarnessJobs(total_jobs);
 
     std::cout << "Figure 9 (BTB): dedicated-SRAM vs virtualized BTB "
@@ -93,13 +170,14 @@ main(int argc, char **argv)
               << " BTB, " << opt.batches << " batches, "
               << opt.edgeStabilities.size()
               << " stability passes, jobs=" << jobs_effective
-              << "\n\n";
+              << ", shards=" << opt.timingShards << "\n\n";
 
     std::vector<Fig9Row> rows = fig9Sweep(opt);
 
     TextTable t;
     t.setColumns({"mix", "stability", "ded IPC", "virt IPC",
-                  "ded hit", "virt hit", "speedup"});
+                  "ded hit", "virt hit", "speedup", "wall",
+                  "ev/s"});
     for (const Fig9Row &r : rows) {
         t.addRow({r.mix, fmtDouble(r.edgeStability, 2),
                   fmtDouble(r.dedicatedIpc, 4),
@@ -107,12 +185,50 @@ main(int argc, char **argv)
                   fmtDouble(r.dedicatedHitPct, 1) + "%",
                   fmtDouble(r.virtualizedHitPct, 1) + "%",
                   fmtDouble(r.speedupPct, 2) + "+/-" +
-                      fmtDouble(r.ciPct, 2) + "%"});
+                      fmtDouble(r.ciPct, 2) + "%",
+                  fmtWall(r.wallSeconds),
+                  fmtEventsPerSec(r.eventsPerSec())});
     }
     if (csv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+
+    // ---- Many-core scaling: serial vs auto-sharded, bit-identical.
+    const unsigned host_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    ManyCoreRun mc_serial, mc_sharded;
+    bool mc_identical = false;
+    double mc_speedup = 0.0;
+    if (!skip_many_core) {
+        std::cout << "\nMany-core scaling: " << many_core_cores
+                  << " cores, " << many_core_records
+                  << " records/core, host_cores=" << host_cores
+                  << "\n";
+        mc_serial = manyCoreRun(many_core_cores, 1,
+                                many_core_records);
+        // At least 4 shards even on small hosts: determinism is
+        // shard-count independent, so the identity check must
+        // exercise real clustering even where it cannot pay off in
+        // wall-clock (the speedup gate is host-aware).
+        const unsigned mc_shards = std::min(
+            many_core_cores, std::max(4u, jobs_requested));
+        mc_sharded = manyCoreRun(many_core_cores, mc_shards,
+                                 many_core_records);
+        mc_identical = mc_serial.stats == mc_sharded.stats &&
+                       mc_serial.ipc == mc_sharded.ipc;
+        mc_speedup = mc_sharded.wallSeconds > 0.0
+                         ? mc_serial.wallSeconds /
+                               mc_sharded.wallSeconds
+                         : 0.0;
+        printHostCost("  serial ", mc_serial.wallSeconds,
+                      mc_serial.events, mc_serial.shards);
+        printHostCost("  sharded", mc_sharded.wallSeconds,
+                      mc_sharded.events, mc_sharded.shards);
+        std::cout << "  bit-identical stats: "
+                  << (mc_identical ? "yes" : "NO") << ", speedup "
+                  << fmtDouble(mc_speedup, 2) << "x\n";
+    }
 
     std::ostringstream js;
     js << "{\n  \"bench\": \"fig9_sweep\",\n"
@@ -123,7 +239,12 @@ main(int argc, char **argv)
        << "  \"batches\": " << opt.batches << ",\n"
        << "  \"warmup_records\": " << opt.warmupRecords << ",\n"
        << "  \"measure_records\": " << opt.measureRecords << ",\n"
+       << "  \"jobs_requested\": " << jobs_requested << ",\n"
        << "  \"jobs_effective\": " << jobs_effective << ",\n"
+       << "  \"timing_shards\": "
+       << (rows.empty() ? opt.timingShards : rows[0].timingShards)
+       << ",\n"
+       << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Fig9Row &r = rows[i];
@@ -134,10 +255,36 @@ main(int argc, char **argv)
            << ", \"dedicated_hit_pct\": " << r.dedicatedHitPct
            << ", \"virtualized_hit_pct\": " << r.virtualizedHitPct
            << ", \"speedup_pct\": " << r.speedupPct
-           << ", \"ci_pct\": " << r.ciPct << "}"
+           << ", \"ci_pct\": " << r.ciPct
+           << ", \"wall_seconds\": " << r.wallSeconds
+           << ", \"events\": " << r.eventsExecuted
+           << ", \"events_per_sec\": " << r.eventsPerSec() << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    js << "  ]\n}\n";
+    js << "  ]";
+    if (!skip_many_core) {
+        js << ",\n  \"many_core\": {\n"
+           << "    \"cores\": " << many_core_cores << ",\n"
+           << "    \"records_per_core\": " << many_core_records
+           << ",\n"
+           << "    \"host_cores\": " << host_cores << ",\n"
+           << "    \"bit_identical\": "
+           << (mc_identical ? "true" : "false") << ",\n"
+           << "    \"speedup\": " << mc_speedup << ",\n"
+           << "    \"serial\": {\"shards\": " << mc_serial.shards
+           << ", \"ipc\": " << mc_serial.ipc
+           << ", \"wall_seconds\": " << mc_serial.wallSeconds
+           << ", \"events\": " << mc_serial.events
+           << ", \"events_per_sec\": " << mc_serial.eventsPerSec()
+           << "},\n"
+           << "    \"sharded\": {\"shards\": " << mc_sharded.shards
+           << ", \"ipc\": " << mc_sharded.ipc
+           << ", \"wall_seconds\": " << mc_sharded.wallSeconds
+           << ", \"events\": " << mc_sharded.events
+           << ", \"events_per_sec\": " << mc_sharded.eventsPerSec()
+           << "}\n  }";
+    }
+    js << "\n}\n";
 
     std::cout << "\n" << js.str();
     std::ofstream out(json_out);
@@ -172,6 +319,13 @@ main(int argc, char **argv)
                          "learnable\n";
             return 1;
         }
+    }
+    // The determinism contract of the sharded timing mode: identical
+    // quantum, different shard counts, bit-identical statistics.
+    if (!skip_many_core && !mc_identical) {
+        std::cerr << "FAIL: many-core sharded run diverged from the "
+                     "serial reference (stats dumps differ)\n";
+        return 1;
     }
     return 0;
 }

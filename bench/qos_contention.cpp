@@ -19,6 +19,7 @@
  *   qos_contention [--penalty N] [--btb-sets N] [--agt-sets N]
  *                  [--pvcache N] [--batches N] [--cores N]
  *                  [--warmup-records N] [--measure-records N]
+ *                  [--shards N] [--quantum N]
  *                  [--json-out FILE] [--csv] [--smoke]
  */
 
@@ -26,11 +27,13 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_common.hh"
 #include "harness/metrics.hh"
 #include "harness/table.hh"
 #include "util/args.hh"
 
 using namespace pvsim;
+using namespace pvsim::bench;
 
 int
 main(int argc, char **argv)
@@ -52,25 +55,31 @@ main(int argc, char **argv)
         args.getUint("warmup-records", smoke ? 1'000 : 20'000);
     opt.measureRecords =
         args.getUint("measure-records", smoke ? 3'000 : 60'000);
+    opt.timingShards =
+        unsigned(args.getUint("shards", opt.timingShards));
+    opt.syncQuantum =
+        Cycles(args.getUint("quantum", opt.syncQuantum));
     const std::string json_out =
         args.getString("json-out", "BENCH_qos.json");
 
     const unsigned total_jobs =
         unsigned(presetQosSettings().size()) * opt.batches;
+    const unsigned jobs_requested = harnessJobs();
     const unsigned jobs_effective = effectiveHarnessJobs(total_jobs);
 
     std::cout << "QoS contention: virtualized BTB (latency-critical)"
               << " vs AGT aggressor on one shared proxy per core, "
               << "penalty=" << opt.penalty << " cycles, PVCache="
               << opt.pvCacheEntries << ", " << opt.batches
-              << " batches, jobs=" << jobs_effective << "\n\n";
+              << " batches, jobs=" << jobs_effective
+              << ", shards=" << opt.timingShards << "\n\n";
 
     std::vector<QosRow> rows = qosSweep(opt);
 
     TextTable t;
     t.setColumns({"setting", "IPC", "avail-redir", "BTB hit",
                   "BTB drop", "AGT drop", "fill lat", "IPC delta",
-                  "protection"});
+                  "protection", "wall", "ev/s"});
     for (const QosRow &r : rows) {
         t.addRow({r.label, fmtDouble(r.ipc, 4),
                   fmtDouble(r.availRedirectPct, 1) + "%",
@@ -79,7 +88,9 @@ main(int argc, char **argv)
                   fmtDouble(r.aggressorDropPct, 1) + "%",
                   fmtDouble(r.btbFillLatency, 1),
                   fmtDouble(r.ipcDeltaPct, 2) + "%",
-                  fmtDouble(r.availImprovementPct, 1) + "%"});
+                  fmtDouble(r.availImprovementPct, 1) + "%",
+                  fmtWall(r.wallSeconds),
+                  fmtEventsPerSec(r.eventsPerSec())});
     }
     if (csv)
         t.printCsv(std::cout);
@@ -96,7 +107,12 @@ main(int argc, char **argv)
        << "  \"batches\": " << opt.batches << ",\n"
        << "  \"warmup_records\": " << opt.warmupRecords << ",\n"
        << "  \"measure_records\": " << opt.measureRecords << ",\n"
+       << "  \"jobs_requested\": " << jobs_requested << ",\n"
        << "  \"jobs_effective\": " << jobs_effective << ",\n"
+       << "  \"timing_shards\": "
+       << (rows.empty() ? opt.timingShards : rows[0].timingShards)
+       << ",\n"
+       << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const QosRow &r = rows[i];
@@ -111,7 +127,10 @@ main(int argc, char **argv)
            << ", \"btb_fill_latency\": " << r.btbFillLatency
            << ", \"ipc_delta_pct\": " << r.ipcDeltaPct
            << ", \"avail_improvement_pct\": "
-           << r.availImprovementPct << "}"
+           << r.availImprovementPct
+           << ", \"wall_seconds\": " << r.wallSeconds
+           << ", \"events\": " << r.eventsExecuted
+           << ", \"events_per_sec\": " << r.eventsPerSec() << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     js << "  ]\n}\n";

@@ -305,6 +305,7 @@ TraceCore::advance()
             if (!refill()) {
                 phase_ = Phase::Done;
                 done_ = true;
+                finishTick_ = curTick();
                 return;
             }
             phase_ = Phase::Fetch;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <functional>
@@ -156,9 +157,16 @@ runMeasured(System &sys, uint64_t warmup_records,
         sys.runTiming(warmup_records);
     Tick start = sys.ctx().curTick();
     sys.resetStats();
+    uint64_t events_before = sys.eventsExecuted();
+    auto wall_start = std::chrono::steady_clock::now();
     Tick finish = sys.runTiming(measure_records);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
     TimedRun r;
     r.ipc = aggregateIpc(sys.totalInstructions(), finish - start);
+    r.wallSeconds = wall.count();
+    r.eventsExecuted = sys.eventsExecuted() - events_before;
+    r.timingShards = sys.timingShardsEffective();
     for (int c = 0; c < sys.numCores(); ++c) {
         r.btbHits += sys.core(c).btbHits.value();
         r.btbMispredicts += sys.core(c).btbMispredicts.value();
@@ -283,6 +291,8 @@ fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
     cfg.pvBytesPerCore =
         std::max<uint64_t>(cfg.pvBytesPerCore,
                            uint64_t(opt.btbSets) * kBlockBytes);
+    cfg.timingShards = opt.timingShards;
+    cfg.syncQuantum = opt.syncQuantum;
     return cfg;
 }
 
@@ -335,9 +345,14 @@ fig9Sweep(const Fig9Options &opt)
             row.batchPct.resize(batches, 0.0);
             double ded_sum = 0.0, virt_sum = 0.0;
             TimedRun ded_all, virt_all;
+            row.timingShards = ded[0].timingShards;
             for (unsigned b = 0; b < batches; ++b) {
                 ded_sum += ded[b].ipc;
                 virt_sum += virt[b].ipc;
+                row.wallSeconds +=
+                    ded[b].wallSeconds + virt[b].wallSeconds;
+                row.eventsExecuted +=
+                    ded[b].eventsExecuted + virt[b].eventsExecuted;
                 ded_all.btbHits += ded[b].btbHits;
                 ded_all.btbMispredicts += ded[b].btbMispredicts;
                 virt_all.btbHits += virt[b].btbHits;
@@ -434,6 +449,8 @@ qosConfig(const QosOptions &opt, const QosSetting &s)
     cfg.pvBytesPerCore = std::max<uint64_t>(
         cfg.pvBytesPerCore,
         uint64_t(opt.btbSets + opt.agtSets) * kBlockBytes);
+    cfg.timingShards = opt.timingShards;
+    cfg.syncQuantum = opt.syncQuantum;
     return cfg;
 }
 
@@ -509,8 +526,11 @@ qosSweep(const QosOptions &opt)
         uint64_t ops = 0, drops = 0, fills = 0, fill_ticks = 0;
         uint64_t agg_ops = 0, agg_drops = 0;
         std::vector<double> delta(batches, 0.0);
+        row.timingShards = mine[0].timed.timingShards;
         for (unsigned b = 0; b < batches; ++b) {
             ipc_sum += mine[b].timed.ipc;
+            row.wallSeconds += mine[b].timed.wallSeconds;
+            row.eventsExecuted += mine[b].timed.eventsExecuted;
             all.btbHits += mine[b].timed.btbHits;
             all.btbMispredicts += mine[b].timed.btbMispredicts;
             all.btbUnavailable += mine[b].timed.btbUnavailable;

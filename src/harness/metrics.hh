@@ -117,6 +117,20 @@ struct TimedRun {
     /** Lookups unanswered at fetch (virtualized BTB waiting on its
      *  PV fill) — the availability redirects QoS protects. */
     uint64_t btbUnavailable = 0;
+    /** Wall-clock seconds of the measure phase (host time). */
+    double wallSeconds = 0.0;
+    /** Events executed during the measure phase, across all queues. */
+    uint64_t eventsExecuted = 0;
+    /** Timing shards the run actually used (1 = serial path). */
+    unsigned timingShards = 1;
+
+    /** Simulator throughput of the measure phase. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
+                                 : 0.0;
+    }
 
     /** Taken-branch target hit rate of the attached BTBs. */
     double
@@ -221,6 +235,10 @@ struct Fig9Options {
      * {kFig9MixStability} — one pass at the recorded defaults.
      */
     std::vector<double> edgeStabilities;
+    /** Timing shards per System (0 = auto, 1 = serial default). */
+    unsigned timingShards = 1;
+    /** Barrier quantum (0 = auto = L2 data latency when sharded). */
+    Cycles syncQuantum = 0;
 };
 
 /** One (mix, stability) matched-pair outcome. */
@@ -238,6 +256,19 @@ struct Fig9Row {
     double dedicatedHitPct = 0.0;
     double virtualizedHitPct = 0.0;
     std::vector<double> batchPct;
+    /** Host-side cost of the row (both sides, all batches). */
+    double wallSeconds = 0.0;
+    uint64_t eventsExecuted = 0;
+    /** Timing shards the row's Systems used (1 = serial). */
+    unsigned timingShards = 1;
+
+    /** Simulator throughput over the row's measure phases. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
+                                 : 0.0;
+    }
 };
 
 /**
@@ -306,6 +337,10 @@ struct QosOptions {
     /** Settings to run; empty means presetQosSettings(). The first
      *  is the baseline the deltas are computed against. */
     std::vector<QosSetting> settings;
+    /** Timing shards per System (0 = auto, 1 = serial default). */
+    unsigned timingShards = 1;
+    /** Barrier quantum (0 = auto = L2 data latency when sharded). */
+    Cycles syncQuantum = 0;
 };
 
 /** One setting's outcome (batch-aggregated; deltas are matched-seed
@@ -328,6 +363,19 @@ struct QosRow {
     /** Relative reduction of availRedirectPct vs the baseline
      *  setting (positive = the BTB is better protected). */
     double availImprovementPct = 0.0;
+    /** Host-side cost of the setting (all batches). */
+    double wallSeconds = 0.0;
+    uint64_t eventsExecuted = 0;
+    /** Timing shards the setting's Systems used (1 = serial). */
+    unsigned timingShards = 1;
+
+    /** Simulator throughput over the setting's measure phases. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
+                                 : 0.0;
+    }
 };
 
 /** Config of one QoS run (exposed so tests can pin it down). */

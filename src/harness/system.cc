@@ -7,6 +7,8 @@
 
 namespace pvsim {
 
+unsigned harnessJobs(); // metrics.cc (PVSIM_JOBS, clamped)
+
 const char *
 prefetchModeName(PrefetchMode mode)
 {
@@ -80,6 +82,32 @@ System::System(const SystemConfig &cfg)
               "per-core reservation",
               (unsigned long long)registry_bytes);
 
+    // Sharded timing engages whenever the config departs from the
+    // serial defaults — including timingShards=1 with an explicit
+    // quantum, so serial-vs-sharded comparisons exercise identical
+    // machinery and differ only in thread count.
+    const bool sharded =
+        cfg_.mode == SimMode::Timing &&
+        (cfg_.timingShards != 1 || cfg_.syncQuantum > 0);
+    if (sharded) {
+        unsigned want = cfg_.timingShards == 0
+                            ? harnessJobs()
+                            : cfg_.timingShards;
+        shardsEffective_ = std::max(
+            1u, std::min(want, unsigned(cfg_.numCores)));
+        quantumEffective_ =
+            cfg_.syncQuantum == 0
+                ? cfg_.l2DataLatency
+                : std::min(cfg_.syncQuantum, cfg_.l2DataLatency);
+        quantumEffective_ = std::max<Cycles>(1, quantumEffective_);
+        shards_ = std::make_unique<QuantumScheduler>(shardsEffective_);
+        coreCluster_.resize(size_t(cfg_.numCores));
+        for (int c = 0; c < cfg_.numCores; ++c)
+            coreCluster_[size_t(c)] =
+                unsigned(uint64_t(c) * shardsEffective_ /
+                         uint64_t(cfg_.numCores));
+    }
+
     DramParams dp;
     dp.name = "dram";
     dp.latency = cfg_.memLatency;
@@ -98,6 +126,23 @@ System::System(const SystemConfig &cfg)
     l2p.dropPvWritebacks = cfg_.dropPvWritebacks;
     l2_ = std::make_unique<Cache>(ctx_, l2p, &addrMap_);
     l2_->setMemSide(dram_.get());
+
+    // In sharded timing, every private-component-to-L2 link goes
+    // through a boundary pair (see mem/boundary_port.hh); the pair
+    // is registered with the L2 in the private component's place so
+    // directory slots keep the serial wiring order.
+    auto makeBoundary = [&](MemClient *client, const std::string &nm,
+                            unsigned cluster) -> MemDevice * {
+        EventQueue *ceq = &shards_->clusterQueue(cluster);
+        auto up = std::make_unique<UpstreamBoundary>(client, ceq,
+                                                     nm + ".bnd");
+        auto down = std::make_unique<DownstreamBoundary>(
+            l2_.get(), up.get(), ceq, nm + ".bnd");
+        MemDevice *dev = down.get();
+        upBoundaries_.push_back(std::move(up));
+        downBoundaries_.push_back(std::move(down));
+        return dev;
+    };
 
     for (int c = 0; c < cfg_.numCores; ++c) {
         std::string cn = "core" + std::to_string(c);
@@ -123,10 +168,20 @@ System::System(const SystemConfig &cfg)
         l1p.name = cn + ".l1i";
         auto l1i = std::make_unique<Cache>(ctx_, l1p, &addrMap_);
 
-        l1d->setMemSide(l2_.get());
-        l1d->setLowerSlot(l2_->attachClient(l1d.get()));
-        l1i->setMemSide(l2_.get());
-        l1i->setLowerSlot(l2_->attachClient(l1i.get()));
+        if (shards_) {
+            unsigned cl = coreCluster_[size_t(c)];
+            l1d->setMemSide(makeBoundary(l1d.get(), cn + ".l1d", cl));
+            l1d->setLowerSlot(
+                l2_->attachClient(upBoundaries_.back().get()));
+            l1i->setMemSide(makeBoundary(l1i.get(), cn + ".l1i", cl));
+            l1i->setLowerSlot(
+                l2_->attachClient(upBoundaries_.back().get()));
+        } else {
+            l1d->setMemSide(l2_.get());
+            l1d->setLowerSlot(l2_->attachClient(l1d.get()));
+            l1i->setMemSide(l2_.get());
+            l1i->setLowerSlot(l2_->attachClient(l1i.get()));
+        }
 
         std::unique_ptr<TraceSource> workload;
         if (!cfg_.traceDir.empty()) {
@@ -169,7 +224,13 @@ System::System(const SystemConfig &cfg)
                                 : addrMap_.pvStart(c);
             pvproxy = std::make_unique<PvProxy>(
                 ctx_, pp, pv_start, cfg_.pvBytesPerCore);
-            pvproxy->setMemSide(l2_.get());
+            if (shards_) {
+                pvproxy->setMemSide(makeBoundary(
+                    pvproxy.get(), pp.name,
+                    coreCluster_[size_t(c)]));
+            } else {
+                pvproxy->setMemSide(l2_.get());
+            }
 
             // The core drives the first tenant of each kind (the
             // accessors also resolve to the first); later same-kind
@@ -337,6 +398,8 @@ System::runTiming(uint64_t records_per_core)
 {
     pv_assert(ctx_.mode() == SimMode::Timing,
               "runTiming on a functional system");
+    if (shards_)
+        return runTimingSharded(records_per_core);
     for (auto &core : cores_)
         core->start(records_per_core);
 
@@ -362,6 +425,88 @@ System::runTiming(uint64_t records_per_core)
                   core->name().c_str());
     }
     return last_finish ? last_finish : eq.curTick();
+}
+
+Tick
+System::runTimingSharded(uint64_t records_per_core)
+{
+    const Tick quantum = quantumEffective_;
+    EventQueue &shared = ctx_.baseEvents();
+
+    // Start each core inside its cluster's queue so its first tick
+    // event — and everything downstream of it — lands in the right
+    // domain.
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        EventQueue::CurrentScope scope(
+            &shards_->clusterQueue(coreCluster_[size_t(c)]));
+        cores_[size_t(c)]->start(records_per_core);
+    }
+
+    // Conservative rounds: clusters run the window in parallel
+    // first; the barrier then drains the boundary lanes into the
+    // shared queue, and the main thread runs the shared L2/DRAM
+    // domain over the same window. Responses the shared phase
+    // schedules back into a cluster carry at least the L2 data
+    // latency (>= the quantum), so they are always due in a later
+    // window — never behind a cluster's clock.
+    Tick window = 0;
+    Tick last_finish = 0;
+    for (;;) {
+        Tick min_next = shards_->minPendingTick();
+        if (!shared.empty())
+            min_next = std::min(min_next, shared.nextTick());
+        if (min_next == kMaxTick)
+            break; // every queue drained
+        if (min_next >= window + quantum) {
+            // Fast-forward over empty windows (DRAM-bound phases
+            // would otherwise spin dozens of silent barriers per
+            // 400-cycle epoch).
+            window += quantum * ((min_next - window) / quantum);
+        }
+        const Tick window_end = window + quantum;
+        shards_->runWindow(window_end);
+        for (auto &b : downBoundaries_)
+            b->drainTo(shared);
+        shared.runUntil(window_end - 1);
+        if (shared.curTick() < window_end)
+            shared.setCurTick(window_end);
+        if (last_finish == 0) {
+            bool all_done = true;
+            for (auto &core : cores_)
+                all_done = all_done && core->done();
+            if (all_done) {
+                for (auto &core : cores_)
+                    last_finish = std::max(last_finish,
+                                           core->finishTick());
+            }
+            // Keep draining in-flight prefetches and writebacks.
+        }
+        window = window_end;
+    }
+    for (auto &core : cores_) {
+        pv_assert(core->done(),
+                  "%s: event queues drained mid-run — lost response",
+                  core->name().c_str());
+    }
+    return last_finish ? last_finish : window;
+}
+
+uint64_t
+System::boundaryLateResponses() const
+{
+    uint64_t n = 0;
+    for (const auto &b : upBoundaries_)
+        n += b->lateResponses();
+    return n;
+}
+
+uint64_t
+System::boundaryDeferredCoherence() const
+{
+    uint64_t n = 0;
+    for (const auto &b : upBoundaries_)
+        n += b->deferredCoherence();
+    return n;
 }
 
 void

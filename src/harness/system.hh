@@ -20,10 +20,12 @@
 #include "cpu/trace_core.hh"
 #include "harness/system_config.hh"
 #include "mem/addr_map.hh"
+#include "mem/boundary_port.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "prefetch/sms.hh"
 #include "prefetch/stride.hh"
+#include "sim/quantum_scheduler.hh"
 #include "trace/synthetic_gen.hh"
 #include "trace/trace_io.hh"
 
@@ -108,6 +110,35 @@ class System
      */
     Tick runTiming(uint64_t records_per_core);
 
+    // ---- Sharded timing observability ------------------------------
+
+    /** Timing shards actually used (1 on the serial path). */
+    unsigned timingShardsEffective() const { return shardsEffective_; }
+
+    /** Barrier quantum actually used (0 on the serial path). */
+    Cycles syncQuantumEffective() const { return quantumEffective_; }
+
+    /** True when runTiming uses the quantum (sharded) machinery. */
+    bool shardedTiming() const { return shards_ != nullptr; }
+
+    /** Events executed across every queue of this system. */
+    uint64_t
+    eventsExecuted()
+    {
+        uint64_t n = ctx_.baseEvents().numExecuted();
+        if (shards_)
+            n += shards_->eventsExecuted();
+        return n;
+    }
+
+    /** Cross-cluster responses delivered past their due tick —
+     *  zero whenever the quantum respects the L2-latency bound
+     *  (asserted in the parallel-timing tests). */
+    uint64_t boundaryLateResponses() const;
+
+    /** Invalidations/downgrades deferred to a quantum edge. */
+    uint64_t boundaryDeferredCoherence() const;
+
     /** Reset all statistics (end of warmup), including the BTB
      *  predictors' lookup counters, which live outside the stats
      *  framework. */
@@ -132,6 +163,9 @@ class System
         return nullptr;
     }
 
+    /** Quantum-path timing loop (see runTiming). */
+    Tick runTimingSharded(uint64_t records_per_core);
+
     SystemConfig cfg_;
     SimContext ctx_;
     AddrMap addrMap_;
@@ -153,6 +187,18 @@ class System
     std::vector<std::vector<std::unique_ptr<VirtEngine>>> engines_;
     std::vector<std::unique_ptr<PatternHistoryTable>> ownedPhts_;
     std::vector<PatternHistoryTable *> phts_;
+
+    // ---- Sharded timing (null/empty on the serial path) -------------
+    /** Cluster queues + worker pool. */
+    std::unique_ptr<QuantumScheduler> shards_;
+    /** Boundary pairs in wiring order (core-major: l1d, l1i,
+     *  proxy); drain order at the barrier is this order. */
+    std::vector<std::unique_ptr<UpstreamBoundary>> upBoundaries_;
+    std::vector<std::unique_ptr<DownstreamBoundary>> downBoundaries_;
+    /** Cluster index of each core. */
+    std::vector<unsigned> coreCluster_;
+    unsigned shardsEffective_ = 1;
+    Cycles quantumEffective_ = 0;
 };
 
 } // namespace pvsim

@@ -213,6 +213,27 @@ struct SystemConfig {
     /** Reserved PVTable bytes per core (>= numSets * 64). */
     uint64_t pvBytesPerCore = 64 * 1024;
 
+    // ---- Sharded (parallel) timing ---------------------------------------
+    /**
+     * Worker shards for timing mode. 1 (default) is the serial
+     * single-queue loop, bit-identical to the historical timing
+     * results. 0 picks min(PVSIM_JOBS, numCores) the way the
+     * functional harness clamps its job count. Any other value
+     * partitions the cores into that many clusters, each simulated
+     * on its own event queue and synchronized every syncQuantum
+     * ticks. With a fixed quantum, aggregate stats are identical
+     * for every shard count >= 1 engaged on the quantum path
+     * (i.e. whenever syncQuantum > 0 or timingShards != 1).
+     */
+    unsigned timingShards = 1;
+    /**
+     * Barrier quantum in ticks for sharded timing. 0 (auto) uses
+     * the conservative bound: the L2 data latency, the minimum
+     * cross-cluster response latency. Larger requests are clamped
+     * to that bound; responses can then never arrive late.
+     */
+    Cycles syncQuantum = 0;
+
     /** Short label for reports, e.g. "SMS-1K" or "SMS-PV8". */
     std::string label() const;
 };

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Cluster-boundary ports for the sharded timing mode.
+ *
+ * A sharded run partitions cores (with their private L1s, predictor
+ * engines and PvProxy) into clusters, each simulated on its own
+ * EventQueue by a worker thread; the shared L2 and DRAM stay on the
+ * context's base queue, run by the main thread. Every path that
+ * used to connect a private component directly to the L2 is routed
+ * through a boundary pair instead:
+ *
+ *  - DownstreamBoundary stands in for the L2 as the private
+ *    component's memory side. It always accepts, parks the packet
+ *    (with its send tick) in a lane owned by the cluster, and the
+ *    main thread drains the lanes into the shared queue at the next
+ *    quantum barrier — so no cluster thread ever touches shared
+ *    state mid-quantum.
+ *  - UpstreamBoundary stands in for the private component as the
+ *    L2's directory client. Responses are redirected into the
+ *    cluster's queue at their exact due tick (always on time, since
+ *    the barrier quantum never exceeds the L2 data latency);
+ *    invalidations and downgrades, which have zero lookahead, are
+ *    deferred to the cluster's current quantum edge and counted.
+ *
+ * All boundary methods are called either by the owning cluster's
+ * worker (downstream, during a quantum) or by the main thread
+ * (drain and upstream, at the barrier) — never concurrently.
+ */
+
+#ifndef PVSIM_MEM_BOUNDARY_PORT_HH
+#define PVSIM_MEM_BOUNDARY_PORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/event_queue.hh"
+
+namespace pvsim {
+
+/** The L2's view of one private component in another shard. */
+class UpstreamBoundary : public MemClient
+{
+  public:
+    UpstreamBoundary(MemClient *client, EventQueue *cluster_eq,
+                     std::string name)
+        : client_(client), clusterEq_(cluster_eq),
+          name_(std::move(name))
+    {}
+
+    void recvResponse(PacketPtr pkt) override
+    {
+        client_->recvResponse(pkt);
+    }
+
+    void
+    scheduleResponse(EventQueue &eq, Cycles delay,
+                     PacketPtr pkt) override
+    {
+        Tick at = eq.curTick() + delay;
+        if (at < clusterEq_->curTick()) {
+            // Quantum larger than the response lookahead; deliver at
+            // the earliest representable tick and count the slip.
+            // With the quantum clamped to the L2 data latency this
+            // never fires (asserted zero in the tests).
+            at = clusterEq_->curTick();
+            ++lateResponses_;
+        }
+        MemClient *c = client_;
+        clusterEq_->schedule(at, EventQueue::kPrioResponse,
+                             [c, pkt] { c->recvResponse(pkt); });
+    }
+
+    void
+    recvInvalidate(Addr block_addr) override
+    {
+        ++deferredCoherence_;
+        MemClient *c = client_;
+        clusterEq_->schedule(clusterEq_->curTick(),
+                             EventQueue::kPrioResponse,
+                             [c, block_addr] {
+                                 c->recvInvalidate(block_addr);
+                             });
+    }
+
+    void
+    recvDowngrade(Addr block_addr) override
+    {
+        ++deferredCoherence_;
+        MemClient *c = client_;
+        clusterEq_->schedule(clusterEq_->curTick(),
+                             EventQueue::kPrioResponse,
+                             [c, block_addr] {
+                                 c->recvDowngrade(block_addr);
+                             });
+    }
+
+    std::string clientName() const override { return name_; }
+
+    /** Responses that would have arrived before the cluster's
+     *  current tick (only possible with an oversized quantum). */
+    uint64_t lateResponses() const { return lateResponses_; }
+
+    /** Zero-lookahead coherence messages pushed to the quantum
+     *  edge (expected and bounded by the quantum). */
+    uint64_t deferredCoherence() const { return deferredCoherence_; }
+
+  private:
+    MemClient *client_;
+    EventQueue *clusterEq_;
+    std::string name_;
+    uint64_t lateResponses_ = 0;
+    uint64_t deferredCoherence_ = 0;
+};
+
+/** A private component's view of the L2 in the shared shard. */
+class DownstreamBoundary : public MemDevice
+{
+  public:
+    DownstreamBoundary(MemDevice *lower, UpstreamBoundary *pair,
+                       EventQueue *cluster_eq, std::string name)
+        : lower_(lower), pair_(pair), clusterEq_(cluster_eq),
+          name_(std::move(name))
+    {}
+
+    bool
+    recvRequest(PacketPtr pkt) override
+    {
+        // Responses must route back through the boundary pair so
+        // they land in this cluster's queue. Writebacks and clean
+        // evicts carry no source and are consumed below.
+        if (pkt->src)
+            pkt->src = pair_;
+        lane_.emplace_back(clusterEq_->curTick(), pkt);
+        return true;
+    }
+
+    void functionalAccess(Packet &pkt) override
+    {
+        lower_->functionalAccess(pkt);
+    }
+
+    std::string deviceName() const override { return name_; }
+
+    /**
+     * Barrier-time handoff (main thread): replay every parked packet
+     * into the shared queue at its original send tick. Injection
+     * retries each tick while the device exerts backpressure, like a
+     * sender's send queue would.
+     */
+    void
+    drainTo(EventQueue &shared_eq)
+    {
+        for (auto &[when, pkt] : lane_)
+            shared_eq.schedule(when, Inject{lower_, pkt, &shared_eq});
+        lane_.clear();
+    }
+
+    bool laneEmpty() const { return lane_.empty(); }
+
+  private:
+    struct Inject {
+        MemDevice *dev;
+        PacketPtr pkt;
+        EventQueue *eq;
+
+        void
+        operator()() const
+        {
+            if (!dev->recvRequest(pkt))
+                eq->schedule(eq->curTick() + 1, *this);
+        }
+    };
+
+    MemDevice *lower_;
+    UpstreamBoundary *pair_;
+    EventQueue *clusterEq_;
+    std::string name_;
+    std::vector<std::pair<Tick, PacketPtr>> lane_;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_MEM_BOUNDARY_PORT_HH

@@ -92,7 +92,8 @@ Cache::Cache(SimContext &ctx, const CacheParams &params,
 int
 Cache::attachClient(MemClient *client)
 {
-    pv_assert(clients_.size() < 32, "too many directory clients");
+    pv_assert(clients_.size() < SharerSet::kSlots,
+              "too many directory clients");
     clients_.push_back(client);
     return int(clients_.size()) - 1;
 }
@@ -203,13 +204,16 @@ Cache::invalidateSharers(CacheBlk &blk, int keep_slot)
     for (size_t slot = 0; slot < clients_.size(); ++slot) {
         if (int(slot) == keep_slot)
             continue;
-        if (blk.sharers & (1u << slot)) {
+        if (blk.sharers.test(unsigned(slot))) {
             clients_[slot]->recvInvalidate(blk.blockAddr);
             ++invalidationsSent;
         }
     }
-    blk.sharers = keep_slot >= 0 ? (1u << keep_slot) & blk.sharers
-                                 : 0;
+    bool keep_held =
+        keep_slot >= 0 && blk.sharers.test(unsigned(keep_slot));
+    blk.sharers.reset();
+    if (keep_held)
+        blk.sharers.set(unsigned(keep_slot));
     if (keep_slot < 0)
         blk.ownerSlot = -1;
 }
@@ -253,7 +257,7 @@ Cache::completeAccess_(Packet &pkt, CacheBlk &blk)
             if (blk.ownerSlot >= 0 && blk.ownerSlot != pkt.srcSlot)
                 recallIfDirtyAbove(blk);
             if (pkt.coherent && pkt.srcSlot >= 0)
-                blk.sharers |= 1u << pkt.srcSlot;
+                blk.sharers.set(unsigned(pkt.srcSlot));
         }
         if (!pkt.isPrefetch && blk.wasPrefetched) {
             ++coveredMisses;
@@ -269,8 +273,8 @@ Cache::completeAccess_(Packet &pkt, CacheBlk &blk)
         if (params_.directory) {
             invalidateSharers(blk, pkt.srcSlot);
             if (pkt.coherent && pkt.srcSlot >= 0) {
-                blk.sharers |= 1u << pkt.srcSlot;
-                blk.ownerSlot = int8_t(pkt.srcSlot);
+                blk.sharers.set(unsigned(pkt.srcSlot));
+                blk.ownerSlot = int16_t(pkt.srcSlot);
             }
         } else {
             // L1 store: the caller guarantees write permission.
@@ -333,7 +337,7 @@ Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
     frame->wasPrefetched = was_prefetch;
     frame->isInst = is_inst;
     frame->isPv = is_pv;
-    frame->sharers = 0;
+    frame->sharers.reset();
     frame->ownerSlot = -1;
     ++accessCounter_;
     frame->lastTouch = accessCounter_;
@@ -417,7 +421,7 @@ Cache::handleWriteback(Packet &pkt)
 
     if (pkt.isCleanEvict()) {
         if (blk && params_.directory && pkt.srcSlot >= 0) {
-            blk->sharers &= ~(1u << pkt.srcSlot);
+            blk->sharers.clear(unsigned(pkt.srcSlot));
             if (blk->ownerSlot == pkt.srcSlot)
                 blk->ownerSlot = -1;
         }
@@ -430,7 +434,7 @@ Cache::handleWriteback(Packet &pkt)
         if (pkt.hasData())
             blk->ensureData() = *pkt.data;
         if (params_.directory && pkt.srcSlot >= 0) {
-            blk->sharers &= ~(1u << pkt.srcSlot);
+            blk->sharers.clear(unsigned(pkt.srcSlot));
             if (blk->ownerSlot == pkt.srcSlot)
                 blk->ownerSlot = -1;
         }
@@ -635,10 +639,11 @@ Cache::handleLookup(PacketPtr pkt)
     pv_assert(pendingLookups_ > 0, "lookup underflow");
     --pendingLookups_;
     if (probeAccess(pkt)) {
-        MemClient *dst = pkt->src;
-        schedule(params_.dataLatency,
-                 [dst, pkt] { dst->recvResponse(pkt); },
-                 EventQueue::kPrioResponse);
+        // Let the destination place the delivery event: a client in
+        // another timing domain (sharded mode's cluster boundary)
+        // redirects it into its own queue.
+        pkt->src->scheduleResponse(ctx().events(),
+                                   params_.dataLatency, pkt);
     }
 }
 
@@ -772,9 +777,7 @@ Cache::recvResponse(PacketPtr pkt)
             missLatency.sample(curTick() - t->issueTick);
         MemClient *dst = t->src;
         pv_assert(dst != nullptr, "target with no source client");
-        schedule(params_.dataLatency,
-                 [dst, t] { dst->recvResponse(t); },
-                 EventQueue::kPrioResponse);
+        dst->scheduleResponse(ctx().events(), params_.dataLatency, t);
     }
 
     freePacket(pkt);

@@ -16,6 +16,45 @@
 
 namespace pvsim {
 
+/**
+ * Fixed-size set of upstream directory slots. A plain uint32_t mask
+ * capped the L2 at 32 coherent clients — a 64-core system has 128
+ * L1s — so the directory tracks sharers in a small array of words
+ * instead.
+ */
+struct SharerSet {
+    static constexpr unsigned kSlots = 256;
+    static constexpr unsigned kWords = kSlots / 64;
+
+    uint64_t words[kWords] = {};
+
+    void set(unsigned slot) { words[slot / 64] |= 1ull << (slot % 64); }
+    void clear(unsigned slot)
+    {
+        words[slot / 64] &= ~(1ull << (slot % 64));
+    }
+    bool
+    test(unsigned slot) const
+    {
+        return (words[slot / 64] >> (slot % 64)) & 1u;
+    }
+    void
+    reset()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+    bool
+    any() const
+    {
+        for (auto w : words)
+            if (w)
+                return true;
+        return false;
+    }
+    bool none() const { return !any(); }
+};
+
 /** State of one cache line, including directory info when in an L2. */
 struct CacheBlk {
     /** Tag (the full block address, for simplicity and debugging). */
@@ -40,12 +79,12 @@ struct CacheBlk {
     uint64_t insertedAt = 0;
 
     /**
-     * Directory state (used only by an inclusive L2): bitmask of
+     * Directory state (used only by an inclusive L2): the set of
      * upstream coherent clients holding this block, and which (if
      * any) may have a dirty copy.
      */
-    uint32_t sharers = 0;
-    int8_t ownerSlot = -1;
+    SharerSet sharers;
+    int16_t ownerSlot = -1;
 
     /** Optional payload (PV blocks only in practice). */
     std::unique_ptr<std::array<uint8_t, kBlockBytes>> data;
@@ -72,7 +111,7 @@ struct CacheBlk {
         wasPrefetched = false;
         isInst = false;
         isPv = false;
-        sharers = 0;
+        sharers.reset();
         ownerSlot = -1;
         data.reset();
     }

@@ -1,6 +1,7 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "mem/packet_pool.hh"
 #include "util/logging.hh"
@@ -38,9 +39,8 @@ Dram::handle(Packet &pkt)
         else
             ++readsApp;
         readBytes += kBlockBytes;
-        auto it = store_.find(baddr);
-        if (it != store_.end())
-            pkt.setData(it->second.data());
+        if (const uint8_t *bytes = store_.find(baddr))
+            pkt.setData(bytes);
         pkt.grantsWritable = true;
         pkt.makeResponse();
         return true;
@@ -59,7 +59,8 @@ Dram::handle(Packet &pkt)
             ++writesApp;
         writeBytes += kBlockBytes;
         if (pkt.hasData())
-            store_[baddr] = *pkt.data;
+            std::memcpy(store_.ensure(baddr), pkt.data->data(),
+                        kBlockBytes);
         return false; // consumed, no response
       }
 
@@ -87,8 +88,8 @@ Dram::recvRequest(PacketPtr pkt)
     Tick done = start + params_.latency;
     MemClient *dst = pkt->src;
     pv_assert(dst != nullptr, "dram response with no source");
-    ctx().events().schedule(done, EventQueue::kPrioResponse,
-                            [dst, pkt] { dst->recvResponse(pkt); });
+    dst->scheduleResponse(ctx().events(), Cycles(done - curTick()),
+                          pkt);
     return true;
 }
 
@@ -101,24 +102,25 @@ Dram::functionalAccess(Packet &pkt)
 void
 Dram::writeBlock(Addr block_addr, const Packet::Data &data)
 {
-    store_[blockAlign(block_addr)] = data;
+    std::memcpy(store_.ensure(blockAlign(block_addr)), data.data(),
+                kBlockBytes);
 }
 
 Packet::Data
 Dram::readBlock(Addr block_addr) const
 {
-    auto it = store_.find(blockAlign(block_addr));
-    if (it != store_.end())
-        return it->second;
-    Packet::Data zero;
-    zero.fill(0);
-    return zero;
+    Packet::Data out;
+    if (const uint8_t *bytes = store_.find(blockAlign(block_addr)))
+        std::memcpy(out.data(), bytes, kBlockBytes);
+    else
+        out.fill(0);
+    return out;
 }
 
 bool
 Dram::hasBlock(Addr block_addr) const
 {
-    return store_.count(blockAlign(block_addr)) > 0;
+    return store_.has(blockAlign(block_addr));
 }
 
 } // namespace pvsim

@@ -9,9 +9,8 @@
 #ifndef PVSIM_MEM_DRAM_HH
 #define PVSIM_MEM_DRAM_HH
 
-#include <unordered_map>
-
 #include "mem/addr_map.hh"
+#include "mem/dram_store.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/sim_object.hh"
@@ -70,7 +69,7 @@ class Dram : public SimObject, public MemDevice
 
     DramParams params_;
     const AddrMap *addrMap_;
-    std::unordered_map<Addr, Packet::Data> store_;
+    DramStore store_;
     Tick channelFreeAt_ = 0;
 };
 

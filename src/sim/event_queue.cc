@@ -6,17 +6,84 @@
 
 namespace pvsim {
 
-EventQueue::EventId
-EventQueue::schedule(Tick when, int priority, std::function<void()> fn)
+namespace {
+
+thread_local EventQueue *tls_current_queue = nullptr;
+
+} // anonymous namespace
+
+EventQueue *
+EventQueue::current()
+{
+    return tls_current_queue;
+}
+
+EventQueue::CurrentScope::CurrentScope(EventQueue *eq)
+    : prev_(tls_current_queue)
+{
+    tls_current_queue = eq;
+}
+
+EventQueue::CurrentScope::~CurrentScope()
+{
+    tls_current_queue = prev_;
+}
+
+EventQueue::~EventQueue()
+{
+    for (Event *e : heap_) {
+        if (e->destroy)
+            e->destroy(e->storage);
+    }
+    // Chunk storage is released by chunks_; no per-node delete.
+}
+
+EventQueue::Event *
+EventQueue::acquire(Tick when, int priority)
 {
     pv_assert(when >= curTick_,
               "event scheduled in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)curTick_);
-    EventId id = nextId_++;
-    heap_.push_back(Entry{when, priority, id, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
-    pending_.insert(id);
-    return id;
+    if (!freeHead_) {
+        auto chunk = std::make_unique<Event[]>(kChunkEvents);
+        for (size_t i = 0; i < kChunkEvents; ++i) {
+            chunk[i].nextFree = freeHead_;
+            freeHead_ = &chunk[i];
+        }
+        freeCount_ += kChunkEvents;
+        chunks_.push_back(std::move(chunk));
+    }
+    Event *e = freeHead_;
+    freeHead_ = e->nextFree;
+    --freeCount_;
+    e->when = when;
+    e->priority = priority;
+    e->id = nextId_++;
+    return e;
+}
+
+void
+EventQueue::commit(Event *e)
+{
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    pending_.insert(e->id);
+}
+
+void
+EventQueue::release(Event *e)
+{
+    e->nextFree = freeHead_;
+    freeHead_ = e;
+    ++freeCount_;
+}
+
+void
+EventQueue::discard(Event *e)
+{
+    if (e->destroy)
+        e->destroy(e->storage);
+    release(e);
 }
 
 void
@@ -37,12 +104,15 @@ EventQueue::maybeCompact()
     size_t dead = heap_.size() - pending_.size();
     if (heap_.size() < kCompactMinHeap || dead * 2 <= heap_.size())
         return;
-    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                               [this](const Entry &e) {
-                                   return !pending_.count(e.id);
-                               }),
-                heap_.end());
-    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+    auto live_end =
+        std::partition(heap_.begin(), heap_.end(),
+                       [this](const Event *e) {
+                           return pending_.count(e->id) != 0;
+                       });
+    for (auto it = live_end; it != heap_.end(); ++it)
+        discard(*it);
+    heap_.erase(live_end, heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -61,54 +131,64 @@ EventQueue::nextTick() const
     // The heap may have stale (cancelled) entries at the top; they
     // can only be earlier than the earliest live event, so scanning
     // is needed for exactness. The common case has no stale top.
-    if (pending_.count(heap_.front().id))
-        return heap_.front().when;
+    if (pending_.count(heap_.front()->id))
+        return heap_.front()->when;
     Tick best = kMaxTick;
-    for (const Entry &e : heap_) {
-        if (e.when < best && pending_.count(e.id))
-            best = e.when;
+    for (const Event *e : heap_) {
+        if (e->when < best && pending_.count(e->id))
+            best = e->when;
     }
     return best;
 }
 
-bool
-EventQueue::popNext(Entry &out)
+EventQueue::Event *
+EventQueue::popNext()
 {
     while (!heap_.empty()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-        Entry e = std::move(heap_.back());
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event *e = heap_.back();
         heap_.pop_back();
-        auto it = pending_.find(e.id);
-        if (it == pending_.end())
-            continue; // cancelled; drop silently
+        auto it = pending_.find(e->id);
+        if (it == pending_.end()) {
+            discard(e); // cancelled; reclaim silently
+            continue;
+        }
         pending_.erase(it);
-        out = std::move(e);
-        return true;
+        return e;
     }
-    return false;
+    return nullptr;
 }
 
 uint64_t
 EventQueue::runUntil(Tick limit)
 {
     uint64_t executed = 0;
-    Entry e;
     while (!heap_.empty()) {
         // Peek: stop without popping if the earliest live event is
         // beyond the limit.
-        if (!pending_.count(heap_.front().id)) {
-            // Stale top; pop and discard.
-            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        Event *top = heap_.front();
+        if (!pending_.count(top->id)) {
+            // Stale top; pop and reclaim.
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
             heap_.pop_back();
+            discard(top);
             continue;
         }
-        if (heap_.front().when > limit)
+        if (top->when > limit)
             break;
-        if (!popNext(e))
+        Event *e = popNext();
+        if (!e)
             break;
-        pv_assert(e.when >= curTick_, "event queue went backwards");
-        curTick_ = e.when;
-        e.fn();
+        pv_assert(e->when >= curTick_, "event queue went backwards");
+        curTick_ = e->when;
+        // The callable may schedule (allocating nodes) or cancel
+        // (compacting the heap); this node is in neither structure
+        // any more, so its storage stays valid until released below.
+        e->invoke(e->storage);
+        if (e->destroy)
+            e->destroy(e->storage);
+        lastExecuted_ = e->when;
+        release(e);
         ++numExecuted_;
         ++executed;
     }
@@ -126,6 +206,8 @@ EventQueue::runOneTick()
 void
 EventQueue::reset()
 {
+    for (Event *e : heap_)
+        discard(e);
     heap_.clear();
     pending_.clear();
     curTick_ = 0;

@@ -3,15 +3,26 @@
  * Discrete-event queue: the backbone of timing-mode simulation.
  * Events are closures scheduled at absolute ticks; same-tick events
  * are ordered by priority (lower first), then by scheduling order.
+ *
+ * Event nodes are pooled: each node carries inline storage for the
+ * scheduled callable, and executed/cancelled nodes return to an
+ * intrusive freelist instead of the heap — doing for events what
+ * PacketPool did for packets. Timing mode used to pay one heap node
+ * plus a std::function allocation per event; steady-state scheduling
+ * now allocates nothing (asserted in tests). Callables larger than
+ * the inline slot are boxed on the heap transparently.
  */
 
 #ifndef PVSIM_SIM_EVENT_QUEUE_HH
 #define PVSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -31,18 +42,32 @@ class EventQueue
         kPrioCpu = 10, ///< CPU ticks run after memory-system events
     };
 
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /**
      * Schedule fn to run at absolute tick when.
      * @pre when >= curTick().
      * @return Handle usable with cancel().
      */
-    EventId schedule(Tick when, int priority,
-                     std::function<void()> fn);
-
+    template <typename F>
     EventId
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, int priority, F &&fn)
     {
-        return schedule(when, kPrioDefault, std::move(fn));
+        Event *e = acquire(when, priority);
+        emplaceCallable(*e, std::forward<F>(fn));
+        commit(e);
+        return e->id;
+    }
+
+    template <typename F>
+    EventId
+    schedule(Tick when, F &&fn)
+    {
+        return schedule(when, kPrioDefault, std::forward<F>(fn));
     }
 
     /**
@@ -93,27 +118,144 @@ class EventQueue
     /** Total events ever executed (for microbenchmarks/tests). */
     uint64_t numExecuted() const { return numExecuted_; }
 
+    /** Tick of the most recently executed event (0 before any).
+     *  The sharded timing driver uses this for finish detection at
+     *  window granularity. */
+    Tick lastExecutedTick() const { return lastExecuted_; }
+
+    // -- Freelist observability (tests, microbenchmarks) -------------
+
+    /** Event nodes ever allocated from the pool's chunks. */
+    size_t poolCapacity() const { return chunks_.size() * kChunkEvents; }
+
+    /** Event nodes currently on the freelist. */
+    size_t poolFree() const { return freeCount_; }
+
+    // -- Thread-local current queue -----------------------------------
+
+    /**
+     * The calling thread's current event queue, or nullptr. The
+     * sharded timing driver points each worker at its cluster's
+     * queue for the duration of a quantum; SimContext::events()
+     * honours the override so every model schedules into — and
+     * reads time from — the domain it executes in, with zero
+     * changes to the models themselves.
+     */
+    static EventQueue *current();
+
+    /** RAII scope installing (and restoring) current(). */
+    class CurrentScope
+    {
+      public:
+        explicit CurrentScope(EventQueue *eq);
+        ~CurrentScope();
+        CurrentScope(const CurrentScope &) = delete;
+        CurrentScope &operator=(const CurrentScope &) = delete;
+
+      private:
+        EventQueue *prev_;
+    };
+
   private:
-    struct Entry {
+    /** Inline callable slot: covers every model closure (a few
+     *  captured pointers) and a std::function; larger callables
+     *  fall back to a heap box. */
+    static constexpr size_t kInlineBytes = 48;
+    /** Event nodes per pool chunk. */
+    static constexpr size_t kChunkEvents = 128;
+
+    struct Event {
         Tick when;
         int priority;
         EventId id;
-        std::function<void()> fn;
-        // Min-heap order: earliest tick, then lowest priority value,
-        // then insertion order for stability.
+        /** Run the stored callable. */
+        void (*invoke)(void *storage);
+        /** Destroy it without running (nullptr when trivial). */
+        void (*destroy)(void *storage);
+        /** Intrusive freelist link (only while free). */
+        Event *nextFree;
+        alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    };
+
+    template <typename F>
+    static void
+    invokeInline(void *p)
+    {
+        (*std::launder(reinterpret_cast<F *>(p)))();
+    }
+
+    template <typename F>
+    static void
+    destroyInline(void *p)
+    {
+        std::launder(reinterpret_cast<F *>(p))->~F();
+    }
+
+    template <typename F>
+    static void
+    invokeBoxed(void *p)
+    {
+        (**std::launder(reinterpret_cast<F **>(p)))();
+    }
+
+    template <typename F>
+    static void
+    destroyBoxed(void *p)
+    {
+        delete *std::launder(reinterpret_cast<F **>(p));
+    }
+
+    template <typename F>
+    void
+    emplaceCallable(Event &e, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            new (static_cast<void *>(e.storage))
+                Fn(std::forward<F>(fn));
+            e.invoke = &invokeInline<Fn>;
+            e.destroy = std::is_trivially_destructible_v<Fn>
+                            ? nullptr
+                            : &destroyInline<Fn>;
+        } else {
+            new (static_cast<void *>(e.storage))
+                Fn *(new Fn(std::forward<F>(fn)));
+            e.invoke = &invokeBoxed<Fn>;
+            e.destroy = &destroyBoxed<Fn>;
+        }
+    }
+
+    /** Take a node from the pool, stamped with (when, priority, id).
+     *  Asserts when >= curTick(). */
+    Event *acquire(Tick when, int priority);
+
+    /** Insert an initialized node into the heap and pending set. */
+    void commit(Event *e);
+
+    /** Destroy an unexecuted node's callable and recycle the node. */
+    void discard(Event *e);
+
+    /** Recycle a node whose callable has already been consumed. */
+    void release(Event *e);
+
+    /** Min-heap comparator: earliest tick, then lowest priority
+     *  value, then insertion order for stability. */
+    struct Later {
         bool
-        operator>(const Entry &o) const
+        operator()(const Event *a, const Event *b) const
         {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return id > o.id;
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->id > b->id;
         }
     };
 
-    /** Pop the earliest live entry into out; false if none. */
-    bool popNext(Entry &out);
+    /** Pop the earliest live entry; nullptr if none. Discards and
+     *  recycles stale (cancelled) entries along the way. */
+    Event *popNext();
 
     /** Drop cancelled entries when they exceed half the heap. */
     void maybeCompact();
@@ -121,11 +263,15 @@ class EventQueue
     /** Below this size compaction is not worth the re-heapify. */
     static constexpr size_t kCompactMinHeap = 64;
 
-    std::vector<Entry> heap_;
+    std::vector<Event *> heap_;
     std::unordered_set<EventId> pending_;
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    Event *freeHead_ = nullptr;
+    size_t freeCount_ = 0;
     Tick curTick_ = 0;
     EventId nextId_ = 0;
     uint64_t numExecuted_ = 0;
+    Tick lastExecuted_ = 0;
 };
 
 } // namespace pvsim

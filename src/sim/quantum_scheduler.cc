@@ -1,0 +1,116 @@
+#include "sim/quantum_scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pvsim {
+
+QuantumScheduler::QuantumScheduler(unsigned num_clusters)
+{
+    pv_assert(num_clusters > 0, "need at least one cluster");
+    queues_.reserve(num_clusters);
+    for (unsigned i = 0; i < num_clusters; ++i)
+        queues_.push_back(std::make_unique<EventQueue>());
+}
+
+QuantumScheduler::~QuantumScheduler()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+QuantumScheduler::startWorkers()
+{
+    workers_.reserve(queues_.size());
+    for (unsigned i = 0; i < queues_.size(); ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+void
+QuantumScheduler::workerMain(unsigned idx)
+{
+    EventQueue &eq = *queues_[idx];
+    uint64_t seen = 0;
+    for (;;) {
+        Tick window_end;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock, [&] {
+                return stop_ || epoch_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = epoch_;
+            window_end = windowEnd_;
+        }
+        {
+            // Every model event this thread executes schedules into
+            // (and reads time from) this cluster's queue.
+            EventQueue::CurrentScope scope(&eq);
+            eq.runUntil(window_end - 1);
+            if (eq.curTick() < window_end)
+                eq.setCurTick(window_end);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+        }
+        cvDone_.notify_one();
+    }
+}
+
+void
+QuantumScheduler::runWindow(Tick window_end)
+{
+    if (workers_.empty())
+        startWorkers();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        windowEnd_ = window_end;
+        running_ = unsigned(queues_.size());
+        ++epoch_;
+    }
+    cvWork_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [&] { return running_ == 0; });
+}
+
+bool
+QuantumScheduler::allEmpty() const
+{
+    for (const auto &q : queues_)
+        if (!q->empty())
+            return false;
+    return true;
+}
+
+Tick
+QuantumScheduler::minPendingTick() const
+{
+    Tick best = kMaxTick;
+    for (const auto &q : queues_) {
+        if (!q->empty())
+            best = std::min(best, q->nextTick());
+    }
+    return best;
+}
+
+uint64_t
+QuantumScheduler::eventsExecuted() const
+{
+    uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->numExecuted();
+    return n;
+}
+
+} // namespace pvsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * QuantumScheduler: conservative parallel discrete-event execution
+ * over a set of cluster EventQueues.
+ *
+ * The driver (System::runTiming) advances simulation in fixed
+ * windows of Q ticks. Each window, every cluster queue runs its
+ * events for [curTick, windowEnd) on a worker thread with that
+ * queue installed as the thread's current queue — so every model
+ * the cluster owns transparently schedules into, and reads time
+ * from, its own domain. The barrier at the window edge is where the
+ * driver exchanges cross-cluster traffic; the scheduler itself only
+ * provides the queues, the worker pool, and the barrier.
+ *
+ * Safe whenever Q does not exceed the minimum latency of any
+ * cross-cluster interaction (here: the shared L2's data latency) —
+ * then no event produced in one domain during a window can be due
+ * in another domain within the same window.
+ */
+
+#ifndef PVSIM_SIM_QUANTUM_SCHEDULER_HH
+#define PVSIM_SIM_QUANTUM_SCHEDULER_HH
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pvsim {
+
+/** Worker pool running one EventQueue per cluster in lockstep. */
+class QuantumScheduler
+{
+  public:
+    explicit QuantumScheduler(unsigned num_clusters);
+    ~QuantumScheduler();
+
+    QuantumScheduler(const QuantumScheduler &) = delete;
+    QuantumScheduler &operator=(const QuantumScheduler &) = delete;
+
+    unsigned numClusters() const { return unsigned(queues_.size()); }
+    EventQueue &clusterQueue(unsigned i) { return *queues_.at(i); }
+
+    /**
+     * Run every cluster queue in parallel up to (excluding)
+     * window_end, then advance each to exactly window_end. Returns
+     * once all clusters reached the barrier; the caller then owns
+     * every queue until the next call.
+     */
+    void runWindow(Tick window_end);
+
+    /** True when no cluster queue has pending events. */
+    bool allEmpty() const;
+
+    /** Earliest pending tick across clusters (kMaxTick if none). */
+    Tick minPendingTick() const;
+
+    /** Total events executed across cluster queues. */
+    uint64_t eventsExecuted() const;
+
+  private:
+    void workerMain(unsigned idx);
+    void startWorkers();
+
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    uint64_t epoch_ = 0;
+    Tick windowEnd_ = 0;
+    unsigned running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace pvsim
+
+#endif // PVSIM_SIM_QUANTUM_SCHEDULER_HH

@@ -44,8 +44,31 @@ class SimContext
     SimMode mode() const { return mode_; }
     bool isTiming() const { return mode_ == SimMode::Timing; }
 
-    EventQueue &events() { return events_; }
-    Tick curTick() const { return events_.curTick(); }
+    /**
+     * The event queue the calling thread should schedule into: the
+     * thread's current-queue override when one is installed (the
+     * sharded timing driver points each worker at its cluster's
+     * queue for the duration of a quantum), else the context's base
+     * queue. Serial simulation never installs an override, so this
+     * stays the single shared queue.
+     */
+    EventQueue &
+    events()
+    {
+        EventQueue *cur = EventQueue::current();
+        return cur ? *cur : events_;
+    }
+
+    /** The context's own queue, ignoring any thread-local override
+     *  (the sharded driver's shared L2/DRAM domain). */
+    EventQueue &baseEvents() { return events_; }
+
+    Tick
+    curTick() const
+    {
+        EventQueue *cur = EventQueue::current();
+        return cur ? cur->curTick() : events_.curTick();
+    }
 
     stats::Group &statsRoot() { return root_; }
 
@@ -80,13 +103,17 @@ class SimObject : public stats::Group
     Tick curTick() const { return ctx_.curTick(); }
     bool isTiming() const { return ctx_.isTiming(); }
 
-    /** Schedule fn to run delay cycles from now (timing mode). */
+    /** Schedule fn to run delay cycles from now (timing mode).
+     *  Templated so small closures land in the event queue's inline
+     *  node storage instead of being boxed through std::function. */
+    template <typename F>
     EventQueue::EventId
-    schedule(Cycles delay, std::function<void()> fn,
+    schedule(Cycles delay, F &&fn,
              int priority = EventQueue::kPrioDefault)
     {
-        return ctx_.events().schedule(curTick() + delay, priority,
-                                      std::move(fn));
+        EventQueue &eq = ctx_.events();
+        return eq.schedule(eq.curTick() + delay, priority,
+                           std::forward<F>(fn));
     }
 
   private:

@@ -270,7 +270,8 @@ TEST_F(CoherenceTest, ReadSharingLeavesBothCopies)
     EXPECT_TRUE(l1b->contains(0x8000));
     const CacheBlk *blk = l2->peekBlock(0x8000);
     ASSERT_NE(blk, nullptr);
-    EXPECT_EQ(blk->sharers, 0b11u);
+    EXPECT_TRUE(blk->sharers.test(0));
+    EXPECT_TRUE(blk->sharers.test(1));
 }
 
 TEST_F(CoherenceTest, StoreMissInvalidatesOtherSharer)
@@ -333,7 +334,7 @@ TEST_F(CoherenceTest, CleanEvictKeepsDirectoryExact)
     access(*l1a, 0x10000 + 32 * 1024, false, 0);
     const CacheBlk *blk = l2->peekBlock(0x10000);
     ASSERT_NE(blk, nullptr);
-    EXPECT_EQ(blk->sharers, 0u)
+    EXPECT_TRUE(blk->sharers.none())
         << "clean eviction must clear the sharer bit";
     // Now a store by B must not send a useless invalidation to A.
     uint64_t inv_before = l2->invalidationsSent.value();

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Sharded timing mode: determinism and safety.
+ *
+ * The contract under test (ISSUE 6): whenever the quantum machinery
+ * is engaged (timingShards != 1 or an explicit syncQuantum), every
+ * shard count produces bit-identical aggregate statistics and the
+ * same finish tick — worker threads change wall-clock, never
+ * results. The serial default (timingShards=1, syncQuantum=0) must
+ * not construct any of the machinery at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+
+using namespace pvsim;
+
+namespace {
+
+/** Timing config over a heterogeneous multi-programmed mix. */
+SystemConfig
+timingConfig(unsigned shards, Cycles quantum)
+{
+    SystemConfig cfg;
+    cfg.mode = SimMode::Timing;
+    cfg.numCores = 4;
+    cfg.workloadMix = {"apache", "qry2", "db2", "zeus"};
+    cfg.timingShards = shards;
+    cfg.syncQuantum = quantum;
+    return cfg;
+}
+
+/** QoS-style config: PV prefetcher + virtualized BTB per core. */
+SystemConfig
+pvConfig(unsigned shards, Cycles quantum)
+{
+    SystemConfig cfg = timingConfig(shards, quantum);
+    cfg.prefetch = PrefetchMode::SmsVirtualized;
+    cfg.btb.mode = BtbMode::Virtualized;
+    cfg.btbMispredictPenalty = 12;
+    cfg.pvBytesPerCore = 256 * 1024; // PHT + BTB tenants
+    return cfg;
+}
+
+struct RunResult {
+    Tick finish;
+    uint64_t instructions;
+    uint64_t lateResponses;
+    std::string stats;
+};
+
+RunResult
+run(const SystemConfig &cfg, uint64_t records)
+{
+    System sys(cfg);
+    RunResult r;
+    r.finish = sys.runTiming(records);
+    r.instructions = sys.totalInstructions();
+    r.lateResponses = sys.boundaryLateResponses();
+    std::ostringstream os;
+    sys.ctx().dumpStats(os);
+    r.stats = os.str();
+    return r;
+}
+
+/** RAII save/restore of PVSIM_JOBS. */
+struct JobsEnv {
+    std::string saved;
+    bool had;
+
+    explicit JobsEnv(const char *value)
+    {
+        const char *old = std::getenv("PVSIM_JOBS");
+        had = old != nullptr;
+        if (had)
+            saved = old;
+        setenv("PVSIM_JOBS", value, 1);
+    }
+
+    ~JobsEnv()
+    {
+        if (had)
+            setenv("PVSIM_JOBS", saved.c_str(), 1);
+        else
+            unsetenv("PVSIM_JOBS");
+    }
+};
+
+} // namespace
+
+TEST(ParallelTiming, DefaultConfigTakesSerialPath)
+{
+    SystemConfig cfg = timingConfig(1, 0);
+    System sys(cfg);
+    EXPECT_FALSE(sys.shardedTiming());
+    EXPECT_EQ(sys.timingShardsEffective(), 1u);
+    EXPECT_EQ(sys.syncQuantumEffective(), 0u);
+}
+
+TEST(ParallelTiming, ShardCountsProduceIdenticalStats)
+{
+    const uint64_t records = 4000;
+    RunResult serial = run(timingConfig(1, 12), records);
+    for (unsigned shards : {2u, 4u}) {
+        RunResult sharded = run(timingConfig(shards, 12), records);
+        EXPECT_EQ(sharded.finish, serial.finish)
+            << shards << " shards changed the finish tick";
+        EXPECT_EQ(sharded.instructions, serial.instructions);
+        EXPECT_EQ(sharded.stats, serial.stats)
+            << shards << " shards changed aggregate statistics";
+    }
+}
+
+TEST(ParallelTiming, PvProxyConfigIdenticalAcrossShards)
+{
+    const uint64_t records = 3000;
+    RunResult serial = run(pvConfig(1, 12), records);
+    for (unsigned shards : {2u, 4u}) {
+        RunResult sharded = run(pvConfig(shards, 12), records);
+        EXPECT_EQ(sharded.finish, serial.finish);
+        EXPECT_EQ(sharded.stats, serial.stats)
+            << shards
+            << " shards changed stats under PV proxy traffic";
+    }
+}
+
+TEST(ParallelTiming, SmallerQuantumStaysSelfConsistent)
+{
+    // A finer quantum changes the schedule (more barriers) but must
+    // still be deterministic across shard counts.
+    const uint64_t records = 2500;
+    RunResult one = run(timingConfig(1, 4), records);
+    RunResult four = run(timingConfig(4, 4), records);
+    EXPECT_EQ(four.finish, one.finish);
+    EXPECT_EQ(four.stats, one.stats);
+}
+
+TEST(ParallelTiming, ResponsesNeverArriveLate)
+{
+    RunResult r = run(pvConfig(4, 0), 3000);
+    EXPECT_EQ(r.lateResponses, 0u)
+        << "conservative quantum bound violated";
+}
+
+TEST(ParallelTiming, QuantumClampedToL2DataLatency)
+{
+    SystemConfig cfg = timingConfig(2, 100);
+    System sys(cfg);
+    EXPECT_EQ(sys.syncQuantumEffective(), cfg.l2DataLatency);
+    sys.runTiming(1000);
+    EXPECT_EQ(sys.boundaryLateResponses(), 0u);
+}
+
+TEST(ParallelTiming, AutoShardsFollowJobsAndCores)
+{
+    {
+        JobsEnv env("2");
+        System sys(timingConfig(0, 0));
+        EXPECT_TRUE(sys.shardedTiming());
+        EXPECT_EQ(sys.timingShardsEffective(), 2u);
+    }
+    {
+        JobsEnv env("64");
+        System sys(timingConfig(0, 0));
+        EXPECT_EQ(sys.timingShardsEffective(), 4u)
+            << "auto shards must clamp to the core count";
+    }
+}
+
+TEST(ParallelTiming, ShardsClampToCoreCount)
+{
+    System sys(timingConfig(16, 0));
+    EXPECT_EQ(sys.timingShardsEffective(), 4u);
+    EXPECT_EQ(sys.syncQuantumEffective(),
+              sys.config().l2DataLatency);
+}
+
+TEST(ParallelTiming, ManyCoreShardedRunCompletes)
+{
+    SystemConfig cfg;
+    cfg.mode = SimMode::Timing;
+    cfg.numCores = 16; // > the old 32-client directory limit / 2
+    cfg.workloadMix = {"apache", "qry2", "db2", "zeus"};
+    cfg.timingShards = 4;
+    System sys(cfg);
+    Tick finish = sys.runTiming(600);
+    EXPECT_GT(finish, 0u);
+    EXPECT_GT(sys.totalInstructions(), 16u * 600u);
+    EXPECT_EQ(sys.boundaryLateResponses(), 0u);
+}

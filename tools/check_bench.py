@@ -27,6 +27,14 @@ What is gated, and why these tolerances:
   protection percentages within --hit-tol-pp of the baseline, and
   the best protection across settings must stay positive — the
   experiment's reason to exist.
+* fig9 many_core section: the serial-vs-sharded stats dumps must be
+  bit-identical (the sharded-timing determinism contract), both IPCs
+  within --ipc-rel-tol of the committed baseline, events/sec above
+  --events-floor, and — only when the producing host had >= 4 cores
+  and actually ran >= 2 shards — the sharded run must be at least
+  --speedup-floor times faster than the serial reference. The
+  host-core condition keeps the gate honest on small containers
+  where the workers cannot help.
 
 Usage (CI runs this from build-release/):
   check_bench.py --baseline-dir ../tools/baselines \
@@ -100,6 +108,54 @@ def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
                     cur[field] / b - 1.0, ipc_rel,
                     f"{label} {field} (relative)",
                 )
+
+
+def check_many_core(
+    gate, current, baseline, ipc_rel, events_floor, speedup_floor
+):
+    mc = current.get("many_core")
+    gate.check(
+        isinstance(mc, dict),
+        "fig9: many_core section missing from artifact",
+    )
+    if not isinstance(mc, dict):
+        return
+    gate.check(
+        mc.get("bit_identical") is True,
+        "fig9 many_core: sharded run diverged from the serial "
+        "reference — sharded-timing determinism broken",
+    )
+    base = baseline.get("many_core", {})
+    for side in ("serial", "sharded"):
+        run = mc.get(side, {})
+        b = base.get(side, {}).get("ipc", 0)
+        if b > 0:
+            gate.close(
+                run.get("ipc", 0) / b - 1.0, ipc_rel,
+                f"fig9 many_core {side} ipc (relative)",
+            )
+        gate.check(
+            run.get("events_per_sec", 0) >= events_floor,
+            f"fig9 many_core {side}: events/sec "
+            f"{run.get('events_per_sec', 0):.0f} below floor "
+            f"{events_floor:.0f}",
+        )
+    # The perf promise only binds where it can physically hold:
+    # enough host cores to run the shards and a run that sharded.
+    host_cores = mc.get("host_cores", 1)
+    shards = mc.get("sharded", {}).get("shards", 1)
+    if host_cores >= 4 and shards >= 2:
+        gate.check(
+            mc.get("speedup", 0) >= speedup_floor,
+            f"fig9 many_core: speedup {mc.get('speedup', 0):.2f}x "
+            f"below floor {speedup_floor}x on a {host_cores}-core "
+            f"host with {shards} shards",
+        )
+    else:
+        print(
+            f"note: many_core speedup not gated "
+            f"(host_cores={host_cores}, shards={shards})"
+        )
 
 
 def check_stepping(gate, current):
@@ -183,14 +239,27 @@ def main():
         "--ipc-rel-tol", type=float, default=0.15,
         help="relative tolerance on per-row IPC values",
     )
+    ap.add_argument(
+        "--events-floor", type=float, default=500_000.0,
+        help="minimum many-core events/sec (either side)",
+    )
+    ap.add_argument(
+        "--speedup-floor", type=float, default=2.0,
+        help="minimum sharded speedup on capable (>=4 core) hosts",
+    )
     args = ap.parse_args()
 
     gate = Gate()
     if args.fig9:
+        fig9_cur = load(args.fig9)
+        fig9_base = load(f"{args.baseline_dir}/BENCH_fig9.smoke.json")
         check_fig9(
-            gate, load(args.fig9),
-            load(f"{args.baseline_dir}/BENCH_fig9.smoke.json"),
+            gate, fig9_cur, fig9_base,
             args.fig9_tol_pp, args.hit_tol_pp, args.ipc_rel_tol,
+        )
+        check_many_core(
+            gate, fig9_cur, fig9_base,
+            args.ipc_rel_tol, args.events_floor, args.speedup_floor,
         )
     if args.stepping:
         check_stepping(gate, load(args.stepping))
