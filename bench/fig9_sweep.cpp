@@ -14,23 +14,29 @@
  * Emits a BENCH_fig9.json summary (stdout table + file) so
  * successive PRs can compare trajectories.
  *
- * The --shards/--quantum knobs engage the sharded timing mode
- * inside every System of the sweep; the many-core section (64 cores
- * by default) runs one serial-vs-auto-sharded pair, asserts their
- * stats dumps are bit-identical, and records the wall-clock speedup
- * and events/sec for the perf gate.
+ * The --shards/--quantum/--bank-domains knobs engage the sharded
+ * timing mode inside every System of the sweep; with 16 or more
+ * cores the default flips to auto-sharding (--shards 0). The
+ * many-core section (64 cores by default) runs a serial /
+ * sharded-only / sharded+banked triple, asserts all three stats
+ * dumps are bit-identical, and records wall-clock speedups, the
+ * per-phase breakdown (measured serial fraction) and events/sec for
+ * the perf gates; --scale-cores adds sharded-vs-banked pairs at
+ * larger core counts (128 by default; pass 128,256 for the full
+ * scaling ladder).
  *
  *   fig9_sweep [--penalty N] [--btb-sets N] [--batches N]
  *              [--warmup-records N] [--measure-records N]
  *              [--cores N] [--edge-stability default,0.8,...]
- *              [--shards N] [--quantum N]
+ *              [--shards N] [--quantum N] [--bank-domains N]
  *              [--skip-many-core] [--many-core-cores N]
- *              [--many-core-records N]
+ *              [--many-core-records N] [--scale-cores N,N,...]
  *              [--json-out FILE] [--csv] [--smoke]
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,9 +55,12 @@ namespace {
 
 /** One timing run of the many-core scaling experiment. */
 struct ManyCoreRun {
-    unsigned shards = 1;   ///< effective shard count
+    unsigned shards = 1;      ///< effective shard count
+    unsigned bankDomains = 1; ///< effective L2 bank domains
     double ipc = 0.0;
     double wallSeconds = 0.0;
+    double clusterPhase = 0.0; ///< parallel cluster-phase seconds
+    double sharedPhase = 0.0;  ///< shared-domain-phase seconds
     uint64_t events = 0;
     std::string stats;     ///< full stats dump (identity check)
 
@@ -61,17 +70,27 @@ struct ManyCoreRun {
         return wallSeconds > 0.0 ? double(events) / wallSeconds
                                  : 0.0;
     }
+
+    /** Measured serial fraction of the phase-accounted wall. */
+    double
+    serialFraction() const
+    {
+        double total = clusterPhase + sharedPhase;
+        return total > 0.0 ? sharedPhase / total : 0.0;
+    }
 };
 
 /**
  * Run `cores` cores over the standard heterogeneous mix for
- * `records` records each, with the given shard request. The quantum
- * is always pinned (to the L2 data latency) so the serial reference
- * (shards=1) runs the same quantum machinery as the sharded run and
- * the stats dumps can be compared bit-for-bit.
+ * `records` records each, with the given shard and bank-domain
+ * requests. The quantum is always pinned (to the L2 data latency)
+ * so the serial reference (shards=1, one bank domain) runs the same
+ * quantum machinery as the sharded runs and the stats dumps can be
+ * compared bit-for-bit.
  */
 ManyCoreRun
-manyCoreRun(unsigned cores, unsigned shards, uint64_t records)
+manyCoreRun(unsigned cores, unsigned shards, unsigned bank_domains,
+            uint64_t records)
 {
     SystemConfig cfg;
     cfg.mode = SimMode::Timing;
@@ -79,21 +98,54 @@ manyCoreRun(unsigned cores, unsigned shards, uint64_t records)
     cfg.workloadMix = {"apache", "qry2", "db2", "zeus"};
     cfg.timingShards = shards;
     cfg.syncQuantum = cfg.l2DataLatency;
+    cfg.l2BankDomains = bank_domains;
     System sys(cfg);
 
     ManyCoreRun r;
     r.shards = sys.timingShardsEffective();
+    r.bankDomains = sys.l2BankDomainsEffective();
     auto t0 = std::chrono::steady_clock::now();
     Tick finish = sys.runTiming(records);
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - t0;
     r.wallSeconds = wall.count();
+    r.clusterPhase = sys.clusterPhaseSeconds();
+    r.sharedPhase = sys.sharedPhaseSeconds();
     r.events = sys.eventsExecuted();
     r.ipc = aggregateIpc(sys.totalInstructions(), finish);
     std::ostringstream os;
     sys.ctx().dumpStats(os);
     r.stats = os.str();
     return r;
+}
+
+/** JSON object body of one many-core run (no surrounding braces). */
+std::string
+manyCoreRunJson(const ManyCoreRun &r)
+{
+    std::ostringstream os;
+    os << "\"shards\": " << r.shards
+       << ", \"bank_domains\": " << r.bankDomains
+       << ", \"ipc\": " << r.ipc
+       << ", \"wall_seconds\": " << r.wallSeconds
+       << ", \"events\": " << r.events
+       << ", \"events_per_sec\": " << r.eventsPerSec()
+       << ", \"cluster_phase_seconds\": " << r.clusterPhase
+       << ", \"shared_phase_seconds\": " << r.sharedPhase
+       << ", \"serial_fraction\": " << r.serialFraction();
+    return os.str();
+}
+
+/** One stdout line for a many-core run, with the phase split. */
+void
+printManyCoreRun(const std::string &label, const ManyCoreRun &r)
+{
+    std::cout << label << ": wall " << fmtWall(r.wallSeconds)
+              << ", " << r.events << " events ("
+              << fmtEventsPerSec(r.eventsPerSec()) << "), shards="
+              << r.shards << ", bank_domains=" << r.bankDomains
+              << ", serial_fraction="
+              << fmtDouble(100.0 * r.serialFraction(), 1) << "%\n";
 }
 
 } // namespace
@@ -115,15 +167,33 @@ main(int argc, char **argv)
         args.getUint("warmup-records", smoke ? 1'000 : 20'000);
     opt.measureRecords =
         args.getUint("measure-records", smoke ? 3'000 : 60'000);
-    opt.timingShards =
-        unsigned(args.getUint("shards", opt.timingShards));
+    // 16+ cores default to auto-sharding (--shards 0): a serial
+    // event loop over that many cores is pure queue contention.
+    opt.timingShards = unsigned(args.getUint(
+        "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
     opt.syncQuantum =
         Cycles(args.getUint("quantum", opt.syncQuantum));
+    opt.l2BankDomains =
+        unsigned(args.getUint("bank-domains", opt.l2BankDomains));
     const bool skip_many_core = args.getBool("skip-many-core", false);
     const unsigned many_core_cores =
         unsigned(args.getUint("many-core-cores", 64));
     const uint64_t many_core_records =
         args.getUint("many-core-records", smoke ? 600 : 3'000);
+    // Scaling ladder beyond the gated 64-core triple: sharded-vs-
+    // banked pairs at these core counts (256 is opt-in: pass
+    // --scale-cores 128,256).
+    std::vector<unsigned> scale_cores;
+    for (const std::string &s :
+         args.getList("scale-cores", {"128"})) {
+        unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+        if (v == 0) {
+            std::cerr << "fig9_sweep: bad --scale-cores value '"
+                      << s << "'\n";
+            return 2;
+        }
+        scale_cores.push_back(unsigned(v));
+    }
     const std::string json_out =
         args.getString("json-out", "BENCH_fig9.json");
 
@@ -194,40 +264,96 @@ main(int argc, char **argv)
     else
         t.print(std::cout);
 
-    // ---- Many-core scaling: serial vs auto-sharded, bit-identical.
+    // ---- Many-core scaling: serial vs sharded-only vs
+    // sharded+banked, all bit-identical.
     const unsigned host_cores =
         std::max(1u, std::thread::hardware_concurrency());
-    ManyCoreRun mc_serial, mc_sharded;
+    // At least 4 shards / 4 bank domains even on small hosts:
+    // determinism is count-independent, so the identity check must
+    // exercise real clustering even where it cannot pay off in
+    // wall-clock (the speedup gates are host-aware).
+    const unsigned mc_shards = std::min(
+        many_core_cores, std::max(4u, jobs_requested));
+    const unsigned mc_banks = std::max(4u, std::min(8u,
+        jobs_requested));
+    ManyCoreRun mc_serial, mc_sharded, mc_banked;
     bool mc_identical = false;
-    double mc_speedup = 0.0;
+    double mc_speedup = 0.0, mc_banked_speedup = 0.0;
+    double mc_banked_over_sharded = 0.0;
+    struct ScaleRow {
+        unsigned cores = 0;
+        ManyCoreRun sharded, banked;
+        bool identical = false;
+        double bankedOverSharded = 0.0;
+    };
+    std::vector<ScaleRow> scale_rows;
     if (!skip_many_core) {
         std::cout << "\nMany-core scaling: " << many_core_cores
                   << " cores, " << many_core_records
                   << " records/core, host_cores=" << host_cores
                   << "\n";
-        mc_serial = manyCoreRun(many_core_cores, 1,
+        mc_serial = manyCoreRun(many_core_cores, 1, 1,
                                 many_core_records);
-        // At least 4 shards even on small hosts: determinism is
-        // shard-count independent, so the identity check must
-        // exercise real clustering even where it cannot pay off in
-        // wall-clock (the speedup gate is host-aware).
-        const unsigned mc_shards = std::min(
-            many_core_cores, std::max(4u, jobs_requested));
-        mc_sharded = manyCoreRun(many_core_cores, mc_shards,
+        mc_sharded = manyCoreRun(many_core_cores, mc_shards, 1,
                                  many_core_records);
+        mc_banked = manyCoreRun(many_core_cores, mc_shards,
+                                mc_banks, many_core_records);
         mc_identical = mc_serial.stats == mc_sharded.stats &&
-                       mc_serial.ipc == mc_sharded.ipc;
+                       mc_sharded.stats == mc_banked.stats &&
+                       mc_serial.ipc == mc_sharded.ipc &&
+                       mc_sharded.ipc == mc_banked.ipc;
         mc_speedup = mc_sharded.wallSeconds > 0.0
                          ? mc_serial.wallSeconds /
                                mc_sharded.wallSeconds
                          : 0.0;
-        printHostCost("  serial ", mc_serial.wallSeconds,
-                      mc_serial.events, mc_serial.shards);
-        printHostCost("  sharded", mc_sharded.wallSeconds,
-                      mc_sharded.events, mc_sharded.shards);
+        mc_banked_speedup = mc_banked.wallSeconds > 0.0
+                                ? mc_serial.wallSeconds /
+                                      mc_banked.wallSeconds
+                                : 0.0;
+        mc_banked_over_sharded =
+            mc_banked.wallSeconds > 0.0
+                ? mc_sharded.wallSeconds / mc_banked.wallSeconds
+                : 0.0;
+        printManyCoreRun("  serial ", mc_serial);
+        printManyCoreRun("  sharded", mc_sharded);
+        printManyCoreRun("  banked ", mc_banked);
         std::cout << "  bit-identical stats: "
                   << (mc_identical ? "yes" : "NO") << ", speedup "
-                  << fmtDouble(mc_speedup, 2) << "x\n";
+                  << fmtDouble(mc_speedup, 2) << "x sharded, "
+                  << fmtDouble(mc_banked_speedup, 2)
+                  << "x sharded+banked ("
+                  << fmtDouble(mc_banked_over_sharded, 2)
+                  << "x over sharded-only)\n";
+
+        // Scaling ladder: the serial reference is dropped (it costs
+        // cores/shards times the sharded run) — determinism at each
+        // rung is sharded-vs-banked.
+        for (unsigned cores : scale_cores) {
+            ScaleRow row;
+            row.cores = cores;
+            const unsigned shards =
+                std::min(cores, std::max(4u, jobs_requested));
+            row.sharded = manyCoreRun(cores, shards, 1,
+                                      many_core_records);
+            row.banked = manyCoreRun(cores, shards, mc_banks,
+                                     many_core_records);
+            row.identical =
+                row.sharded.stats == row.banked.stats &&
+                row.sharded.ipc == row.banked.ipc;
+            row.bankedOverSharded =
+                row.banked.wallSeconds > 0.0
+                    ? row.sharded.wallSeconds /
+                          row.banked.wallSeconds
+                    : 0.0;
+            std::cout << "  scale " << cores << " cores:\n";
+            printManyCoreRun("    sharded", row.sharded);
+            printManyCoreRun("    banked ", row.banked);
+            std::cout << "    bit-identical stats: "
+                      << (row.identical ? "yes" : "NO") << ", "
+                      << fmtDouble(row.bankedOverSharded, 2)
+                      << "x banked over sharded\n";
+            scale_rows.push_back(std::move(row));
+        }
     }
 
     std::ostringstream js;
@@ -244,6 +370,9 @@ main(int argc, char **argv)
        << "  \"timing_shards\": "
        << (rows.empty() ? opt.timingShards : rows[0].timingShards)
        << ",\n"
+       << "  \"l2_bank_domains\": "
+       << (rows.empty() ? opt.l2BankDomains : rows[0].l2BankDomains)
+       << ",\n"
        << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -258,7 +387,14 @@ main(int argc, char **argv)
            << ", \"ci_pct\": " << r.ciPct
            << ", \"wall_seconds\": " << r.wallSeconds
            << ", \"events\": " << r.eventsExecuted
-           << ", \"events_per_sec\": " << r.eventsPerSec() << "}"
+           << ", \"events_per_sec\": " << r.eventsPerSec()
+           << ", \"jobs_effective\": " << jobs_effective
+           << ", \"timing_shards\": " << r.timingShards
+           << ", \"l2_bank_domains\": " << r.l2BankDomains
+           << ", \"cluster_phase_seconds\": "
+           << r.clusterPhaseSeconds
+           << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
+           << ", \"serial_fraction\": " << r.serialFraction() << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     js << "  ]";
@@ -271,18 +407,31 @@ main(int argc, char **argv)
            << "    \"bit_identical\": "
            << (mc_identical ? "true" : "false") << ",\n"
            << "    \"speedup\": " << mc_speedup << ",\n"
-           << "    \"serial\": {\"shards\": " << mc_serial.shards
-           << ", \"ipc\": " << mc_serial.ipc
-           << ", \"wall_seconds\": " << mc_serial.wallSeconds
-           << ", \"events\": " << mc_serial.events
-           << ", \"events_per_sec\": " << mc_serial.eventsPerSec()
+           << "    \"banked_speedup\": " << mc_banked_speedup
+           << ",\n"
+           << "    \"banked_over_sharded\": "
+           << mc_banked_over_sharded << ",\n"
+           << "    \"serial\": {" << manyCoreRunJson(mc_serial)
            << "},\n"
-           << "    \"sharded\": {\"shards\": " << mc_sharded.shards
-           << ", \"ipc\": " << mc_sharded.ipc
-           << ", \"wall_seconds\": " << mc_sharded.wallSeconds
-           << ", \"events\": " << mc_sharded.events
-           << ", \"events_per_sec\": " << mc_sharded.eventsPerSec()
-           << "}\n  }";
+           << "    \"sharded\": {" << manyCoreRunJson(mc_sharded)
+           << "},\n"
+           << "    \"banked\": {" << manyCoreRunJson(mc_banked)
+           << "}\n  },\n"
+           << "  \"many_core_scale\": [\n";
+        for (size_t i = 0; i < scale_rows.size(); ++i) {
+            const ScaleRow &r = scale_rows[i];
+            js << "    {\"cores\": " << r.cores
+               << ", \"records_per_core\": " << many_core_records
+               << ", \"bit_identical\": "
+               << (r.identical ? "true" : "false")
+               << ", \"banked_over_sharded\": "
+               << r.bankedOverSharded
+               << ", \"sharded\": {" << manyCoreRunJson(r.sharded)
+               << "}, \"banked\": {" << manyCoreRunJson(r.banked)
+               << "}}" << (i + 1 < scale_rows.size() ? "," : "")
+               << "\n";
+        }
+        js << "  ]";
     }
     js << "\n}\n";
 
@@ -321,11 +470,21 @@ main(int argc, char **argv)
         }
     }
     // The determinism contract of the sharded timing mode: identical
-    // quantum, different shard counts, bit-identical statistics.
+    // quantum, different shard and bank-domain counts, bit-identical
+    // statistics.
     if (!skip_many_core && !mc_identical) {
-        std::cerr << "FAIL: many-core sharded run diverged from the "
-                     "serial reference (stats dumps differ)\n";
+        std::cerr << "FAIL: many-core sharded/banked runs diverged "
+                     "from the serial reference (stats dumps "
+                     "differ)\n";
         return 1;
+    }
+    for (const ScaleRow &r : scale_rows) {
+        if (!r.identical) {
+            std::cerr << "FAIL: " << r.cores
+                      << "-core banked run diverged from the "
+                         "sharded-only reference\n";
+            return 1;
+        }
     }
     return 0;
 }

@@ -13,13 +13,24 @@
  * per-tenant proxy drop rates, mean BTB fill latency, and the
  * matched-seed IPC delta against the equal-weight baseline.
  *
+ * A second section runs the heterogeneous per-cluster tenant
+ * matrix (qosHeterogeneous): a many-core machine whose four
+ * cluster groups each run a different workload mix under a
+ * different QoS contract, reported per cluster against the
+ * matched-seed all-equal reference — the "unrelated tenants share
+ * one machine" picture the per-tenant contracts exist for.
+ *
  * Emits a BENCH_qos.json summary (stdout table + file) so
- * successive PRs can compare trajectories.
+ * successive PRs can compare trajectories. With 16 or more cores
+ * the default flips to auto-sharding (--shards 0).
  *
  *   qos_contention [--penalty N] [--btb-sets N] [--agt-sets N]
  *                  [--pvcache N] [--batches N] [--cores N]
  *                  [--warmup-records N] [--measure-records N]
- *                  [--shards N] [--quantum N]
+ *                  [--shards N] [--quantum N] [--bank-domains N]
+ *                  [--hetero-cores N] [--hetero-batches N]
+ *                  [--hetero-warmup N] [--hetero-measure N]
+ *                  [--skip-hetero]
  *                  [--json-out FILE] [--csv] [--smoke]
  */
 
@@ -55,12 +66,32 @@ main(int argc, char **argv)
         args.getUint("warmup-records", smoke ? 1'000 : 20'000);
     opt.measureRecords =
         args.getUint("measure-records", smoke ? 3'000 : 60'000);
-    opt.timingShards =
-        unsigned(args.getUint("shards", opt.timingShards));
+    // 16+ cores default to auto-sharding (--shards 0).
+    opt.timingShards = unsigned(args.getUint(
+        "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
     opt.syncQuantum =
         Cycles(args.getUint("quantum", opt.syncQuantum));
+    opt.l2BankDomains =
+        unsigned(args.getUint("bank-domains", opt.l2BankDomains));
+    const bool skip_hetero = args.getBool("skip-hetero", false);
+    const unsigned hetero_cores =
+        unsigned(args.getUint("hetero-cores", 64));
     const std::string json_out =
         args.getString("json-out", "BENCH_qos.json");
+
+    // The heterogeneous matrix runs many-core: always sharded
+    // (auto) unless the user pinned a shard count, with its own
+    // (smaller) record budget.
+    QosOptions hopt = opt;
+    hopt.numCores = int(hetero_cores);
+    hopt.timingShards =
+        args.has("shards") ? opt.timingShards : 0;
+    hopt.batches = unsigned(std::max<uint64_t>(
+        1, args.getUint("hetero-batches", smoke ? 1 : 2)));
+    hopt.warmupRecords =
+        args.getUint("hetero-warmup", smoke ? 500 : 8'000);
+    hopt.measureRecords =
+        args.getUint("hetero-measure", smoke ? 1'500 : 24'000);
 
     const unsigned total_jobs =
         unsigned(presetQosSettings().size()) * opt.batches;
@@ -97,6 +128,46 @@ main(int argc, char **argv)
     else
         t.print(std::cout);
 
+    // ---- Heterogeneous per-cluster tenant matrix ------------------
+    QosHeterogeneousResult het;
+    if (!skip_hetero) {
+        std::cout << "\nHeterogeneous tenant matrix: "
+                  << hetero_cores << " cores in 4 cluster groups, "
+                  << hopt.batches << " batch(es), shards="
+                  << hopt.timingShards << " (0=auto)\n";
+        het = qosHeterogeneous(hopt);
+        TextTable ht;
+        ht.setColumns({"cluster", "cores", "avail-redir",
+                       "ref-redir", "protection", "BTB hit",
+                       "BTB drop", "AGT drop"});
+        for (const QosClusterRow &c : het.clusters) {
+            ht.addRow({c.cluster, std::to_string(c.cores),
+                       fmtDouble(c.availRedirectPct, 1) + "%",
+                       fmtDouble(c.refAvailRedirectPct, 1) + "%",
+                       fmtDouble(c.availImprovementPct, 1) + "%",
+                       fmtDouble(c.btbHitPct, 1) + "%",
+                       fmtDouble(c.btbDropPct, 1) + "%",
+                       fmtDouble(c.aggressorDropPct, 1) + "%"});
+        }
+        if (csv)
+            ht.printCsv(std::cout);
+        else
+            ht.print(std::cout);
+        printHostCost("  reference", het.referenceRun.wallSeconds,
+                      het.referenceRun.eventsExecuted,
+                      het.referenceRun.timingShards);
+        printHostCost("  protected", het.protectedRun.wallSeconds,
+                      het.protectedRun.eventsExecuted,
+                      het.protectedRun.timingShards);
+        std::cout << "  bank_domains="
+                  << het.protectedRun.l2BankDomains
+                  << ", serial_fraction="
+                  << fmtDouble(
+                         100.0 * het.protectedRun.serialFraction(),
+                         1)
+                  << "%\n";
+    }
+
     std::ostringstream js;
     js << "{\n  \"bench\": \"qos_contention\",\n"
        << "  \"penalty_cycles\": " << opt.penalty << ",\n"
@@ -111,6 +182,9 @@ main(int argc, char **argv)
        << "  \"jobs_effective\": " << jobs_effective << ",\n"
        << "  \"timing_shards\": "
        << (rows.empty() ? opt.timingShards : rows[0].timingShards)
+       << ",\n"
+       << "  \"l2_bank_domains\": "
+       << (rows.empty() ? opt.l2BankDomains : rows[0].l2BankDomains)
        << ",\n"
        << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
@@ -130,10 +204,68 @@ main(int argc, char **argv)
            << r.availImprovementPct
            << ", \"wall_seconds\": " << r.wallSeconds
            << ", \"events\": " << r.eventsExecuted
-           << ", \"events_per_sec\": " << r.eventsPerSec() << "}"
+           << ", \"events_per_sec\": " << r.eventsPerSec()
+           << ", \"jobs_effective\": " << jobs_effective
+           << ", \"timing_shards\": " << r.timingShards
+           << ", \"l2_bank_domains\": " << r.l2BankDomains
+           << ", \"cluster_phase_seconds\": "
+           << r.clusterPhaseSeconds
+           << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
+           << ", \"serial_fraction\": " << r.serialFraction() << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    js << "  ]\n}\n";
+    js << "  ]";
+    if (!skip_hetero) {
+        auto run_json = [](const TimedRun &r) {
+            std::ostringstream os;
+            os << "\"ipc\": " << r.ipc
+               << ", \"wall_seconds\": " << r.wallSeconds
+               << ", \"events\": " << r.eventsExecuted
+               << ", \"events_per_sec\": " << r.eventsPerSec()
+               << ", \"timing_shards\": " << r.timingShards
+               << ", \"l2_bank_domains\": " << r.l2BankDomains
+               << ", \"cluster_phase_seconds\": "
+               << r.clusterPhaseSeconds
+               << ", \"shared_phase_seconds\": "
+               << r.sharedPhaseSeconds
+               << ", \"serial_fraction\": " << r.serialFraction();
+            return os.str();
+        };
+        js << ",\n  \"heterogeneous\": {\n"
+           << "    \"cores\": " << hetero_cores << ",\n"
+           << "    \"batches\": " << hopt.batches << ",\n"
+           << "    \"warmup_records\": " << hopt.warmupRecords
+           << ",\n"
+           << "    \"measure_records\": " << hopt.measureRecords
+           << ",\n"
+           << "    \"reference\": {"
+           << run_json(het.referenceRun) << "},\n"
+           << "    \"protected\": {"
+           << run_json(het.protectedRun) << "},\n"
+           << "    \"clusters\": [\n";
+        for (size_t i = 0; i < het.clusters.size(); ++i) {
+            const QosClusterRow &c = het.clusters[i];
+            js << "      {\"cluster\": \"" << c.cluster
+               << "\", \"mix\": \"" << c.mix
+               << "\", \"contract\": \"" << c.contract
+               << "\", \"btb_weight\": " << c.btbWeight
+               << ", \"aggressor_weight\": " << c.aggressorWeight
+               << ", \"cores\": " << c.cores
+               << ", \"avail_redirect_pct\": " << c.availRedirectPct
+               << ", \"ref_avail_redirect_pct\": "
+               << c.refAvailRedirectPct
+               << ", \"avail_improvement_pct\": "
+               << c.availImprovementPct
+               << ", \"btb_hit_pct\": " << c.btbHitPct
+               << ", \"btb_drop_pct\": " << c.btbDropPct
+               << ", \"ref_btb_drop_pct\": " << c.refBtbDropPct
+               << ", \"aggressor_drop_pct\": "
+               << c.aggressorDropPct << "}"
+               << (i + 1 < het.clusters.size() ? "," : "") << "\n";
+        }
+        js << "    ]\n  }";
+    }
+    js << "\n}\n";
 
     std::cout << "\n" << js.str();
     std::ofstream out(json_out);
@@ -173,6 +305,38 @@ main(int argc, char **argv)
         std::cerr << "FAIL: no setting protects the BTB by >= 10% "
                      "relative (best " << best << "%)\n";
         return 1;
+    }
+    // Heterogeneous matrix: both runs must produce real IPCs, and
+    // every cluster must have seen real BTB traffic; outside smoke,
+    // at least one protected cluster must show positive protection
+    // over its all-equal reference.
+    if (!skip_hetero) {
+        if (het.protectedRun.ipc <= 0.0 ||
+            het.referenceRun.ipc <= 0.0) {
+            std::cerr << "FAIL: heterogeneous matrix produced a "
+                         "zero IPC\n";
+            return 1;
+        }
+        double het_best = 0.0;
+        for (const QosClusterRow &c : het.clusters) {
+            if (c.btbHitPct <= 0.0) {
+                std::cerr << "FAIL: cluster " << c.cluster
+                          << " scored no BTB traffic\n";
+                return 1;
+            }
+            if (c.btbWeight > c.aggressorWeight ||
+                c.contract == "equal+floor") {
+                het_best =
+                    std::max(het_best, c.availImprovementPct);
+            }
+        }
+        if (!smoke && het_best <= 0.0) {
+            std::cerr << "FAIL: no protected cluster improves BTB "
+                         "availability over the all-equal "
+                         "reference (best "
+                      << het_best << "%)\n";
+            return 1;
+        }
     }
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "harness/metrics.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -167,6 +168,11 @@ runMeasured(System &sys, uint64_t warmup_records,
     r.wallSeconds = wall.count();
     r.eventsExecuted = sys.eventsExecuted() - events_before;
     r.timingShards = sys.timingShardsEffective();
+    r.l2BankDomains = sys.l2BankDomainsEffective();
+    // resetStats() zeroed the phase timers at the measure boundary,
+    // so these are measure-phase-only.
+    r.clusterPhaseSeconds = sys.clusterPhaseSeconds();
+    r.sharedPhaseSeconds = sys.sharedPhaseSeconds();
     for (int c = 0; c < sys.numCores(); ++c) {
         r.btbHits += sys.core(c).btbHits.value();
         r.btbMispredicts += sys.core(c).btbMispredicts.value();
@@ -293,6 +299,7 @@ fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
                            uint64_t(opt.btbSets) * kBlockBytes);
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
+    cfg.l2BankDomains = opt.l2BankDomains;
     return cfg;
 }
 
@@ -346,6 +353,7 @@ fig9Sweep(const Fig9Options &opt)
             double ded_sum = 0.0, virt_sum = 0.0;
             TimedRun ded_all, virt_all;
             row.timingShards = ded[0].timingShards;
+            row.l2BankDomains = ded[0].l2BankDomains;
             for (unsigned b = 0; b < batches; ++b) {
                 ded_sum += ded[b].ipc;
                 virt_sum += virt[b].ipc;
@@ -353,6 +361,10 @@ fig9Sweep(const Fig9Options &opt)
                     ded[b].wallSeconds + virt[b].wallSeconds;
                 row.eventsExecuted +=
                     ded[b].eventsExecuted + virt[b].eventsExecuted;
+                row.clusterPhaseSeconds += ded[b].clusterPhaseSeconds +
+                                           virt[b].clusterPhaseSeconds;
+                row.sharedPhaseSeconds += ded[b].sharedPhaseSeconds +
+                                          virt[b].sharedPhaseSeconds;
                 ded_all.btbHits += ded[b].btbHits;
                 ded_all.btbMispredicts += ded[b].btbMispredicts;
                 virt_all.btbHits += virt[b].btbHits;
@@ -451,6 +463,7 @@ qosConfig(const QosOptions &opt, const QosSetting &s)
         uint64_t(opt.btbSets + opt.agtSets) * kBlockBytes);
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
+    cfg.l2BankDomains = opt.l2BankDomains;
     return cfg;
 }
 
@@ -527,10 +540,15 @@ qosSweep(const QosOptions &opt)
         uint64_t agg_ops = 0, agg_drops = 0;
         std::vector<double> delta(batches, 0.0);
         row.timingShards = mine[0].timed.timingShards;
+        row.l2BankDomains = mine[0].timed.l2BankDomains;
         for (unsigned b = 0; b < batches; ++b) {
             ipc_sum += mine[b].timed.ipc;
             row.wallSeconds += mine[b].timed.wallSeconds;
             row.eventsExecuted += mine[b].timed.eventsExecuted;
+            row.clusterPhaseSeconds +=
+                mine[b].timed.clusterPhaseSeconds;
+            row.sharedPhaseSeconds +=
+                mine[b].timed.sharedPhaseSeconds;
             all.btbHits += mine[b].timed.btbHits;
             all.btbMispredicts += mine[b].timed.btbMispredicts;
             all.btbUnavailable += mine[b].timed.btbUnavailable;
@@ -573,6 +591,218 @@ qosSweep(const QosOptions &opt)
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+// ---- Heterogeneous per-cluster tenant matrix --------------------------
+
+namespace {
+
+/** Cluster group of core c: contiguous quarters, the same grouping
+ *  the sharded scheduler uses for its clusters. */
+unsigned
+hetGroupOf(int core, int num_cores)
+{
+    return unsigned(core) * 4u / unsigned(num_cores);
+}
+
+/** Per-group tenant counters of one heterogeneous run. */
+struct HetGroup {
+    uint64_t btbHits = 0;
+    uint64_t btbMispredicts = 0;
+    uint64_t btbUnavailable = 0;
+    uint64_t btbOps = 0;
+    uint64_t btbDrops = 0;
+    uint64_t aggOps = 0;
+    uint64_t aggDrops = 0;
+
+    double
+    availRedirectPct() const
+    {
+        uint64_t scored = btbHits + btbMispredicts;
+        return scored ? 100.0 * double(btbUnavailable) /
+                            double(scored)
+                      : 0.0;
+    }
+
+    double
+    btbHitPct() const
+    {
+        uint64_t scored = btbHits + btbMispredicts;
+        return scored ? 100.0 * double(btbHits) / double(scored)
+                      : 0.0;
+    }
+
+    double
+    btbDropPct() const
+    {
+        return btbOps ? 100.0 * double(btbDrops) / double(btbOps)
+                      : 0.0;
+    }
+
+    double
+    aggressorDropPct() const
+    {
+        return aggOps ? 100.0 * double(aggDrops) / double(aggOps)
+                      : 0.0;
+    }
+};
+
+struct HetRun {
+    TimedRun timed;
+    std::array<HetGroup, 4> groups;
+};
+
+/**
+ * One heterogeneous run: every cluster group gets its own workload
+ * mix; when `protect` is set, groups 1..3 additionally get their
+ * own QoS contracts (installed through the proxies before any
+ * traffic — the config itself carries the equal contract, so the
+ * protected and reference runs share one address map and seed
+ * derivation and differ only in the arbiter's entitlements).
+ */
+HetRun
+hetRun(const QosOptions &opt,
+       const std::array<const WorkloadMix *, 4> &group_mixes,
+       const std::array<const QosSetting *, 4> &contracts,
+       unsigned seed, bool protect)
+{
+    SystemConfig cfg = qosConfig(opt, *contracts[0]);
+    cfg.workloadMix.clear();
+    cfg.workloadMix.reserve(size_t(opt.numCores));
+    for (int c = 0; c < opt.numCores; ++c) {
+        const std::vector<std::string> &w =
+            group_mixes[hetGroupOf(c, opt.numCores)]->workloads;
+        cfg.workloadMix.push_back(w[size_t(c) % w.size()]);
+    }
+    cfg.seedOffset = seed;
+    System sys(cfg);
+    if (protect) {
+        for (int c = 0; c < sys.numCores(); ++c) {
+            const QosSetting &s =
+                *contracts[hetGroupOf(c, opt.numCores)];
+            // Table 0 is the implicit virtualized BTB, table 1 the
+            // registered AGT aggressor (see qosConfig).
+            sys.pvProxy(c)->setTenantQos(0, s.btb);
+            sys.pvProxy(c)->setTenantQos(1, s.aggressor);
+        }
+    }
+    HetRun r;
+    r.timed = runMeasured(sys, opt.warmupRecords,
+                          opt.measureRecords);
+    for (int c = 0; c < sys.numCores(); ++c) {
+        HetGroup &g = r.groups[hetGroupOf(c, opt.numCores)];
+        g.btbHits += sys.core(c).btbHits.value();
+        g.btbMispredicts += sys.core(c).btbMispredicts.value();
+        g.btbUnavailable += sys.core(c).btbUnavailable.value();
+        PvProxy::EngineStats &bs = sys.virtBtb(c)->engineStats();
+        g.btbOps += bs.operations.value();
+        g.btbDrops += bs.drops.value();
+        PvProxy::EngineStats &as = sys.virtAgt(c)->engineStats();
+        g.aggOps += as.operations.value();
+        g.aggDrops += as.drops.value();
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+QosHeterogeneousResult
+qosHeterogeneous(const QosOptions &opt)
+{
+    pv_assert(opt.batches > 0,
+              "qosHeterogeneous needs at least one batch");
+    pv_assert(opt.numCores >= 4 && opt.numCores % 4 == 0,
+              "heterogeneous matrix needs a multiple of 4 cores");
+
+    // The four preset mixes (web / oltp / dss / mixed), one per
+    // cluster group.
+    const std::vector<WorkloadMix> mixes = presetMixes();
+    pv_assert(mixes.size() >= 4, "need four preset mixes");
+    const std::array<const WorkloadMix *, 4> group_mixes = {
+        &mixes[0], &mixes[1], &mixes[2], &mixes[3]};
+
+    // Per-group contracts: the control group keeps the equal
+    // contract even in the protected run, so its row isolates the
+    // cross-cluster side effects of protecting the others.
+    const std::vector<QosSetting> presets = presetQosSettings();
+    pv_assert(presets.size() >= 5, "need the preset QoS settings");
+    const std::array<const QosSetting *, 4> contracts = {
+        &presets[0],  // equal (control)
+        &presets[2],  // 4:1
+        &presets[4],  // equal+floor
+        &presets[3]}; // 8:1
+
+    // Job layout: side-major (reference first), then batch; both
+    // sides of batch b share the seed, so deltas are matched.
+    const unsigned batches = opt.batches;
+    std::vector<HetRun> runs(2 * batches);
+    forEachBatch(unsigned(runs.size()), [&](unsigned j) {
+        runs[j] = hetRun(opt, group_mixes, contracts, j % batches,
+                         /*protect=*/j >= batches);
+    });
+
+    QosHeterogeneousResult res;
+    const HetRun *ref = &runs[0];
+    const HetRun *prot = &runs[batches];
+    double ref_ipc = 0.0, prot_ipc = 0.0;
+    std::array<HetGroup, 4> ref_g, prot_g;
+    auto accumulate = [](TimedRun &into, const TimedRun &from) {
+        into.btbHits += from.btbHits;
+        into.btbMispredicts += from.btbMispredicts;
+        into.btbUnavailable += from.btbUnavailable;
+        into.wallSeconds += from.wallSeconds;
+        into.eventsExecuted += from.eventsExecuted;
+        into.clusterPhaseSeconds += from.clusterPhaseSeconds;
+        into.sharedPhaseSeconds += from.sharedPhaseSeconds;
+        into.timingShards = from.timingShards;
+        into.l2BankDomains = from.l2BankDomains;
+    };
+    auto merge = [](std::array<HetGroup, 4> &into,
+                    const std::array<HetGroup, 4> &from) {
+        for (size_t g = 0; g < 4; ++g) {
+            into[g].btbHits += from[g].btbHits;
+            into[g].btbMispredicts += from[g].btbMispredicts;
+            into[g].btbUnavailable += from[g].btbUnavailable;
+            into[g].btbOps += from[g].btbOps;
+            into[g].btbDrops += from[g].btbDrops;
+            into[g].aggOps += from[g].aggOps;
+            into[g].aggDrops += from[g].aggDrops;
+        }
+    };
+    for (unsigned b = 0; b < batches; ++b) {
+        ref_ipc += ref[b].timed.ipc;
+        prot_ipc += prot[b].timed.ipc;
+        accumulate(res.referenceRun, ref[b].timed);
+        accumulate(res.protectedRun, prot[b].timed);
+        merge(ref_g, ref[b].groups);
+        merge(prot_g, prot[b].groups);
+    }
+    res.referenceRun.ipc = ref_ipc / double(batches);
+    res.protectedRun.ipc = prot_ipc / double(batches);
+
+    for (size_t g = 0; g < 4; ++g) {
+        QosClusterRow row;
+        row.mix = group_mixes[g]->name;
+        row.contract = contracts[g]->label;
+        row.cluster = row.mix + "/" + row.contract;
+        row.btbWeight = contracts[g]->btb.weight;
+        row.aggressorWeight = contracts[g]->aggressor.weight;
+        row.cores = opt.numCores / 4;
+        row.availRedirectPct = prot_g[g].availRedirectPct();
+        row.btbHitPct = prot_g[g].btbHitPct();
+        row.btbDropPct = prot_g[g].btbDropPct();
+        row.aggressorDropPct = prot_g[g].aggressorDropPct();
+        row.refAvailRedirectPct = ref_g[g].availRedirectPct();
+        row.refBtbDropPct = ref_g[g].btbDropPct();
+        row.availImprovementPct =
+            row.refAvailRedirectPct > 0.0
+                ? 100.0 * (row.refAvailRedirectPct -
+                           row.availRedirectPct) /
+                      row.refAvailRedirectPct
+                : 0.0;
+        res.clusters.push_back(std::move(row));
+    }
+    return res;
 }
 
 } // namespace pvsim

@@ -123,6 +123,14 @@ struct TimedRun {
     uint64_t eventsExecuted = 0;
     /** Timing shards the run actually used (1 = serial path). */
     unsigned timingShards = 1;
+    /** L2 bank domains the run actually scheduled (1 = serial). */
+    unsigned l2BankDomains = 1;
+    /** Wall seconds of the parallel cluster phase (sharded path). */
+    double clusterPhaseSeconds = 0.0;
+    /** Wall seconds of the shared-domain phase: lane drains, bank
+     *  windows, egress flush and the DRAM window — the measured
+     *  serial fraction's numerator. */
+    double sharedPhaseSeconds = 0.0;
 
     /** Simulator throughput of the measure phase. */
     double
@@ -130,6 +138,15 @@ struct TimedRun {
     {
         return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
                                  : 0.0;
+    }
+
+    /** Fraction of the phase-accounted wall clock spent in the
+     *  shared-domain phase (0 when nothing was accounted). */
+    double
+    serialFraction() const
+    {
+        double total = clusterPhaseSeconds + sharedPhaseSeconds;
+        return total > 0.0 ? sharedPhaseSeconds / total : 0.0;
     }
 
     /** Taken-branch target hit rate of the attached BTBs. */
@@ -239,6 +256,8 @@ struct Fig9Options {
     unsigned timingShards = 1;
     /** Barrier quantum (0 = auto = L2 data latency when sharded). */
     Cycles syncQuantum = 0;
+    /** L2 bank domains when sharded (0 = auto, clamped to banks). */
+    unsigned l2BankDomains = 0;
 };
 
 /** One (mix, stability) matched-pair outcome. */
@@ -261,6 +280,12 @@ struct Fig9Row {
     uint64_t eventsExecuted = 0;
     /** Timing shards the row's Systems used (1 = serial). */
     unsigned timingShards = 1;
+    /** L2 bank domains the row's Systems scheduled (1 = serial). */
+    unsigned l2BankDomains = 1;
+    /** Per-phase wall clock summed over the row's measure phases
+     *  (sharded path only; both stay 0 on the serial loop). */
+    double clusterPhaseSeconds = 0.0;
+    double sharedPhaseSeconds = 0.0;
 
     /** Simulator throughput over the row's measure phases. */
     double
@@ -268,6 +293,15 @@ struct Fig9Row {
     {
         return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
                                  : 0.0;
+    }
+
+    /** Measured serial fraction: shared-domain share of the
+     *  phase-accounted wall clock. */
+    double
+    serialFraction() const
+    {
+        double total = clusterPhaseSeconds + sharedPhaseSeconds;
+        return total > 0.0 ? sharedPhaseSeconds / total : 0.0;
     }
 };
 
@@ -341,6 +375,8 @@ struct QosOptions {
     unsigned timingShards = 1;
     /** Barrier quantum (0 = auto = L2 data latency when sharded). */
     Cycles syncQuantum = 0;
+    /** L2 bank domains when sharded (0 = auto, clamped to banks). */
+    unsigned l2BankDomains = 0;
 };
 
 /** One setting's outcome (batch-aggregated; deltas are matched-seed
@@ -368,6 +404,12 @@ struct QosRow {
     uint64_t eventsExecuted = 0;
     /** Timing shards the setting's Systems used (1 = serial). */
     unsigned timingShards = 1;
+    /** L2 bank domains the setting's Systems scheduled. */
+    unsigned l2BankDomains = 1;
+    /** Per-phase wall clock summed over the setting's measure
+     *  phases (sharded path only). */
+    double clusterPhaseSeconds = 0.0;
+    double sharedPhaseSeconds = 0.0;
 
     /** Simulator throughput over the setting's measure phases. */
     double
@@ -375,6 +417,15 @@ struct QosRow {
     {
         return wallSeconds > 0.0 ? double(eventsExecuted) / wallSeconds
                                  : 0.0;
+    }
+
+    /** Measured serial fraction: shared-domain share of the
+     *  phase-accounted wall clock. */
+    double
+    serialFraction() const
+    {
+        double total = clusterPhaseSeconds + sharedPhaseSeconds;
+        return total > 0.0 ? sharedPhaseSeconds / total : 0.0;
     }
 };
 
@@ -389,6 +440,54 @@ SystemConfig qosConfig(const QosOptions &opt, const QosSetting &s);
  * independent of the worker count.
  */
 std::vector<QosRow> qosSweep(const QosOptions &opt);
+
+// ---- Heterogeneous per-cluster tenant matrix --------------------------
+
+/**
+ * One cluster group's outcome in the heterogeneous tenant matrix:
+ * availability/drop pressure of its tenants under the group's own
+ * QoS contract, against the matched-seed all-equal reference run.
+ */
+struct QosClusterRow {
+    std::string cluster;  ///< group label, e.g. "web/4:1"
+    std::string mix;      ///< workload mix of the group's cores
+    std::string contract; ///< QoS contract label of the group
+    unsigned btbWeight = 1;
+    unsigned aggressorWeight = 1;
+    int cores = 0;       ///< cores in the group
+    /** Protected (per-cluster contracts) run, group-aggregated. */
+    double availRedirectPct = 0.0;
+    double btbHitPct = 0.0;
+    double btbDropPct = 0.0;
+    double aggressorDropPct = 0.0;
+    /** Matched-seed all-equal reference, same group of cores. */
+    double refAvailRedirectPct = 0.0;
+    double refBtbDropPct = 0.0;
+    /** Relative reduction of availRedirectPct vs the reference
+     *  (positive = this group's BTB is better protected). */
+    double availImprovementPct = 0.0;
+};
+
+/** The heterogeneous matrix outcome: per-cluster protection rows
+ *  plus the aggregate scoreboards of both runs. */
+struct QosHeterogeneousResult {
+    std::vector<QosClusterRow> clusters;
+    TimedRun protectedRun; ///< per-cluster contracts, all batches
+    TimedRun referenceRun; ///< all-equal contracts, same seeds
+};
+
+/**
+ * Heterogeneous per-cluster tenant matrix: the cores are split into
+ * four equal cluster groups, each running a different preset
+ * workload mix (web / oltp / dss / mixed) and a different QoS
+ * contract on its cores' proxies (equal, 4:1, equal+floor, 8:1 —
+ * installed via PvProxy::setTenantQos after construction), modelling
+ * unrelated tenants sharing one many-core machine. A matched-seed
+ * reference run keeps every group on the equal contract; the rows
+ * report per-group protection deltas. Needs numCores % 4 == 0;
+ * opt.settings is ignored. Deterministic for any worker count.
+ */
+QosHeterogeneousResult qosHeterogeneous(const QosOptions &opt);
 
 } // namespace pvsim
 

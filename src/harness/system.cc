@@ -1,6 +1,7 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "trace/workload.hh"
 #include "util/logging.hh"
@@ -127,6 +128,51 @@ System::System(const SystemConfig &cfg)
     l2_ = std::make_unique<Cache>(ctx_, l2p, &addrMap_);
     l2_->setMemSide(dram_.get());
 
+    // Bank-domain shared phase: in sharded timing the L2 itself is
+    // partitioned by address into bank domains, each with its own
+    // event queue run by a bank worker at the quantum edge. All L2
+    // state (blocks, tags, directory, MSHRs, send queues) is
+    // bank-disjoint after enableBankPartition; all cross-domain
+    // traffic goes through per-bank lanes flushed in canonical bank
+    // order — so results are bit-identical for every domain count.
+    if (shards_) {
+        unsigned want_b = cfg_.l2BankDomains == 0
+                              ? harnessJobs()
+                              : cfg_.l2BankDomains;
+        bankDomainsEffective_ = std::max(
+            1u, std::min(want_b, cfg_.l2Banks));
+        bankShards_ =
+            std::make_unique<QuantumScheduler>(bankDomainsEffective_);
+        bankDomain_.resize(cfg_.l2Banks);
+        for (unsigned b = 0; b < cfg_.l2Banks; ++b)
+            bankDomain_[b] = unsigned(uint64_t(b) *
+                                      bankDomainsEffective_ /
+                                      uint64_t(cfg_.l2Banks));
+        // Bank workers bump the shared L2's stat objects; each
+        // worker thread accumulates into its own deferral, flushed
+        // by the main thread at every barrier (commutative merges,
+        // so flush order cannot matter).
+        bankDeferrals_.resize(bankDomainsEffective_);
+        bankShards_->setWorkerInit([this](unsigned idx) {
+            stats::Deferral::installOnThisThread(
+                &bankDeferrals_[idx]);
+        });
+        auto bank_of = [l2 = l2_.get()](Addr a) {
+            return l2->bankOf(a);
+        };
+        bankEgress_ = std::make_unique<BankEgress>(cfg_.l2Banks,
+                                                   bank_of);
+        std::vector<EventQueue *> bank_eqs(cfg_.l2Banks);
+        for (unsigned b = 0; b < cfg_.l2Banks; ++b)
+            bank_eqs[b] = &bankShards_->clusterQueue(bankDomain_[b]);
+        dramRouter_ = std::make_unique<BankLaneRouter>(
+            dram_.get(), std::move(bank_eqs), bank_of, "dram.lanes");
+        l2_->setMemSide(dramRouter_.get());
+        l2_->setResponseRouter(
+            [this](Addr a) { return &bankQueueOf(a); });
+        l2_->enableBankPartition();
+    }
+
     // In sharded timing, every private-component-to-L2 link goes
     // through a boundary pair (see mem/boundary_port.hh); the pair
     // is registered with the L2 in the private component's place so
@@ -136,6 +182,7 @@ System::System(const SystemConfig &cfg)
         EventQueue *ceq = &shards_->clusterQueue(cluster);
         auto up = std::make_unique<UpstreamBoundary>(client, ceq,
                                                      nm + ".bnd");
+        up->setEgress(bankEgress_.get());
         auto down = std::make_unique<DownstreamBoundary>(
             l2_.get(), up.get(), ceq, nm + ".bnd");
         MemDevice *dev = down.get();
@@ -443,16 +490,28 @@ System::runTimingSharded(uint64_t records_per_core)
     }
 
     // Conservative rounds: clusters run the window in parallel
-    // first; the barrier then drains the boundary lanes into the
-    // shared queue, and the main thread runs the shared L2/DRAM
-    // domain over the same window. Responses the shared phase
-    // schedules back into a cluster carry at least the L2 data
-    // latency (>= the quantum), so they are always due in a later
-    // window — never behind a cluster's clock.
+    // first; the barrier then drains the boundary lanes straight
+    // into the owning bank's queue, the bank workers run the L2
+    // over the same window in parallel, and the main thread flushes
+    // the bank egress lanes (responses into cluster queues, in bank
+    // order), the stat deferrals, and the DRAM lanes before running
+    // the DRAM window on the base queue. Responses crossing a
+    // domain carry at least the L2 data latency (>= the quantum) —
+    // cluster-bound — or the DRAM latency — bank-bound — so they
+    // are always due in a later window, never behind any clock.
+    const auto route = [this](Addr a) -> EventQueue & {
+        return bankQueueOf(a);
+    };
+    using SteadyClock = std::chrono::steady_clock;
+    const auto seconds_between = [](SteadyClock::time_point a,
+                                    SteadyClock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
     Tick window = 0;
     Tick last_finish = 0;
     for (;;) {
-        Tick min_next = shards_->minPendingTick();
+        Tick min_next = std::min(shards_->minPendingTick(),
+                                 bankShards_->minPendingTick());
         if (!shared.empty())
             min_next = std::min(min_next, shared.nextTick());
         if (min_next == kMaxTick)
@@ -464,12 +523,21 @@ System::runTimingSharded(uint64_t records_per_core)
             window += quantum * ((min_next - window) / quantum);
         }
         const Tick window_end = window + quantum;
+        const auto t0 = SteadyClock::now();
         shards_->runWindow(window_end);
+        const auto t1 = SteadyClock::now();
+        clusterPhaseSeconds_ += seconds_between(t0, t1);
         for (auto &b : downBoundaries_)
-            b->drainTo(shared);
+            b->drainBanked(route);
+        bankShards_->runWindow(window_end);
+        bankEgress_->flush();
+        for (auto &d : bankDeferrals_)
+            d.flush();
+        dramRouter_->drainTo(shared);
         shared.runUntil(window_end - 1);
         if (shared.curTick() < window_end)
             shared.setCurTick(window_end);
+        sharedPhaseSeconds_ += seconds_between(t1, SteadyClock::now());
         if (last_finish == 0) {
             bool all_done = true;
             for (auto &core : cores_)
@@ -513,6 +581,8 @@ void
 System::resetStats()
 {
     ctx_.resetStats();
+    clusterPhaseSeconds_ = 0.0;
+    sharedPhaseSeconds_ = 0.0;
     for (auto &btb : dedicatedBtbs_) {
         if (btb)
             btb->resetLookupStats();

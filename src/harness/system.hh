@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "stats/stat.hh"
+
 #include "core/virt_agt.hh"
 #include "core/virt_btb.hh"
 #include "core/virt_pht.hh"
@@ -121,6 +123,22 @@ class System
     /** True when runTiming uses the quantum (sharded) machinery. */
     bool shardedTiming() const { return shards_ != nullptr; }
 
+    /** L2 bank domains actually scheduled (1 on the serial path). */
+    unsigned l2BankDomainsEffective() const
+    {
+        return bankDomainsEffective_;
+    }
+
+    /** Wall-clock seconds spent in the parallel cluster phase of
+     *  runTiming (sharded path only; 0 otherwise). */
+    double clusterPhaseSeconds() const { return clusterPhaseSeconds_; }
+
+    /** Wall-clock seconds spent in the shared-domain phase — lane
+     *  drains, the bank-domain window, egress flush, and the DRAM
+     *  window on the main thread. The measured serial fraction is
+     *  sharedPhaseSeconds / (cluster + shared). */
+    double sharedPhaseSeconds() const { return sharedPhaseSeconds_; }
+
     /** Events executed across every queue of this system. */
     uint64_t
     eventsExecuted()
@@ -128,6 +146,8 @@ class System
         uint64_t n = ctx_.baseEvents().numExecuted();
         if (shards_)
             n += shards_->eventsExecuted();
+        if (bankShards_)
+            n += bankShards_->eventsExecuted();
         return n;
     }
 
@@ -166,6 +186,14 @@ class System
     /** Quantum-path timing loop (see runTiming). */
     Tick runTimingSharded(uint64_t records_per_core);
 
+    /** Bank-domain queue owning a block address. */
+    EventQueue &
+    bankQueueOf(Addr addr)
+    {
+        return bankShards_->clusterQueue(
+            bankDomain_[l2_->bankOf(addr)]);
+    }
+
     SystemConfig cfg_;
     SimContext ctx_;
     AddrMap addrMap_;
@@ -199,6 +227,21 @@ class System
     std::vector<unsigned> coreCluster_;
     unsigned shardsEffective_ = 1;
     Cycles quantumEffective_ = 0;
+
+    // ---- Bank-domain shared phase (null/empty unless sharded) -------
+    /** Bank-domain queues + worker pool for the shared L2. */
+    std::unique_ptr<QuantumScheduler> bankShards_;
+    /** Per-bank L2-to-cluster egress lanes (see BankEgress). */
+    std::unique_ptr<BankEgress> bankEgress_;
+    /** The L2's memory side: per-bank lanes into the DRAM queue. */
+    std::unique_ptr<BankLaneRouter> dramRouter_;
+    /** Domain index of each L2 bank (contiguous grouping). */
+    std::vector<unsigned> bankDomain_;
+    /** One stat deferral per bank-domain worker thread. */
+    std::vector<stats::Deferral> bankDeferrals_;
+    unsigned bankDomainsEffective_ = 1;
+    double clusterPhaseSeconds_ = 0.0;
+    double sharedPhaseSeconds_ = 0.0;
 };
 
 } // namespace pvsim

@@ -233,6 +233,18 @@ struct SystemConfig {
      * to that bound; responses can then never arrive late.
      */
     Cycles syncQuantum = 0;
+    /**
+     * Bank domains for the shared L2 in sharded timing: the L2's
+     * address-interleaved banks are grouped into this many
+     * independently scheduled domains, each run by its own worker
+     * at the quantum edge (directory, MSHRs and send queues are
+     * partitioned per bank so domains share no mutable state).
+     * 0 (auto) picks min(PVSIM_JOBS, l2Banks); any other value is
+     * clamped to [1, l2Banks]. Only meaningful when the sharded
+     * machinery is engaged; with a fixed quantum, aggregate stats
+     * are bit-identical for every domain count >= 1.
+     */
+    unsigned l2BankDomains = 0;
 
     /** Short label for reports, e.g. "SMS-1K" or "SMS-PV8". */
     std::string label() const;

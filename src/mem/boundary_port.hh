@@ -4,32 +4,47 @@
  *
  * A sharded run partitions cores (with their private L1s, predictor
  * engines and PvProxy) into clusters, each simulated on its own
- * EventQueue by a worker thread; the shared L2 and DRAM stay on the
- * context's base queue, run by the main thread. Every path that
- * used to connect a private component directly to the L2 is routed
- * through a boundary pair instead:
+ * EventQueue by a worker thread. The shared L2 is further split by
+ * address into bank domains, each with its own EventQueue run by a
+ * bank worker at the quantum edge; DRAM stays on the context's base
+ * queue, run by the main thread. Every path that used to connect a
+ * private component directly to the L2 is routed through a boundary
+ * pair instead:
  *
  *  - DownstreamBoundary stands in for the L2 as the private
  *    component's memory side. It always accepts, parks the packet
  *    (with its send tick) in a lane owned by the cluster, and the
- *    main thread drains the lanes into the shared queue at the next
- *    quantum barrier — so no cluster thread ever touches shared
- *    state mid-quantum.
+ *    main thread drains the lanes at the next quantum barrier —
+ *    either into the shared queue, or (bank-domain mode) directly
+ *    into the owning bank's queue — so no cluster thread ever
+ *    touches shared state mid-quantum.
  *  - UpstreamBoundary stands in for the private component as the
  *    L2's directory client. Responses are redirected into the
  *    cluster's queue at their exact due tick (always on time, since
  *    the barrier quantum never exceeds the L2 data latency);
  *    invalidations and downgrades, which have zero lookahead, are
  *    deferred to the cluster's current quantum edge and counted.
+ *    In bank-domain mode the L2 runs on bank workers, so instead of
+ *    touching the cluster queue directly the upstream boundary
+ *    records the delivery into a per-bank BankEgress lane; the main
+ *    thread flushes the lanes in bank order at the barrier.
+ *  - BankLaneRouter stands in for DRAM as the L2's memory side in
+ *    bank-domain mode: bank workers park their downstream packets
+ *    in per-bank lanes, and the main thread replays them into the
+ *    shared queue in (bank, issue-order) order — so DRAM channel
+ *    arbitration is deterministic and independent of how banks are
+ *    grouped into domains.
  *
- * All boundary methods are called either by the owning cluster's
- * worker (downstream, during a quantum) or by the main thread
- * (drain and upstream, at the barrier) — never concurrently.
+ * All boundary methods are called by exactly one thread at a time:
+ * downstream by the owning cluster's worker mid-quantum, egress
+ * lanes by the (unique) worker running that bank's events, drains
+ * and flushes by the main thread at the barrier.
  */
 
 #ifndef PVSIM_MEM_BOUNDARY_PORT_HH
 #define PVSIM_MEM_BOUNDARY_PORT_HH
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +54,26 @@
 #include "sim/event_queue.hh"
 
 namespace pvsim {
+
+class BankEgress;
+
+/**
+ * Barrier-time replay of a parked packet: deliver to the device at
+ * the original send tick, retrying each tick while the device
+ * exerts backpressure, like a sender's send queue would.
+ */
+struct LaneInject {
+    MemDevice *dev;
+    PacketPtr pkt;
+    EventQueue *eq;
+
+    void
+    operator()() const
+    {
+        if (!dev->recvRequest(pkt))
+            eq->schedule(eq->curTick() + 1, *this);
+    }
+};
 
 /** The L2's view of one private component in another shard. */
 class UpstreamBoundary : public MemClient
@@ -50,16 +85,40 @@ class UpstreamBoundary : public MemClient
           name_(std::move(name))
     {}
 
+    /**
+     * Route all deliveries through per-bank egress lanes instead of
+     * the cluster queue (bank-domain mode; see BankEgress).
+     */
+    void setEgress(BankEgress *egress) { egress_ = egress; }
+
     void recvResponse(PacketPtr pkt) override
     {
         client_->recvResponse(pkt);
     }
 
+    void scheduleResponse(EventQueue &eq, Cycles delay,
+                          PacketPtr pkt) override;
+    void recvInvalidate(Addr block_addr) override;
+    void recvDowngrade(Addr block_addr) override;
+
+    std::string clientName() const override { return name_; }
+
+    /** Responses that would have arrived before the cluster's
+     *  current tick (only possible with an oversized quantum). */
+    uint64_t lateResponses() const { return lateResponses_; }
+
+    /** Zero-lookahead coherence messages pushed to the quantum
+     *  edge (expected and bounded by the quantum). */
+    uint64_t deferredCoherence() const { return deferredCoherence_; }
+
+  private:
+    friend class BankEgress;
+
+    /** Direct delivery into the cluster queue (serial shared phase,
+     *  and the egress flush path on the main thread). */
     void
-    scheduleResponse(EventQueue &eq, Cycles delay,
-                     PacketPtr pkt) override
+    deliverResponseAt(Tick at, PacketPtr pkt)
     {
-        Tick at = eq.curTick() + delay;
         if (at < clusterEq_->curTick()) {
             // Quantum larger than the response lookahead; deliver at
             // the earliest representable tick and count the slip.
@@ -74,7 +133,7 @@ class UpstreamBoundary : public MemClient
     }
 
     void
-    recvInvalidate(Addr block_addr) override
+    deliverInvalidate(Addr block_addr)
     {
         ++deferredCoherence_;
         MemClient *c = client_;
@@ -86,7 +145,7 @@ class UpstreamBoundary : public MemClient
     }
 
     void
-    recvDowngrade(Addr block_addr) override
+    deliverDowngrade(Addr block_addr)
     {
         ++deferredCoherence_;
         MemClient *c = client_;
@@ -97,23 +156,122 @@ class UpstreamBoundary : public MemClient
                              });
     }
 
-    std::string clientName() const override { return name_; }
-
-    /** Responses that would have arrived before the cluster's
-     *  current tick (only possible with an oversized quantum). */
-    uint64_t lateResponses() const { return lateResponses_; }
-
-    /** Zero-lookahead coherence messages pushed to the quantum
-     *  edge (expected and bounded by the quantum). */
-    uint64_t deferredCoherence() const { return deferredCoherence_; }
-
-  private:
     MemClient *client_;
     EventQueue *clusterEq_;
+    BankEgress *egress_ = nullptr;
     std::string name_;
     uint64_t lateResponses_ = 0;
     uint64_t deferredCoherence_ = 0;
 };
+
+/**
+ * Per-bank L2-to-cluster egress lanes for bank-domain mode.
+ *
+ * L2 code executing on a bank worker must not schedule into cluster
+ * queues directly: two banks answering the same cluster would race,
+ * and the cross-bank interleave would depend on the bank-to-domain
+ * grouping. Instead each delivery is recorded in the lane of the
+ * bank that owns the block address — written only by the single
+ * worker running that bank's events — and the main thread flushes
+ * the lanes in ascending bank order at the quantum barrier. The
+ * resulting (bank, record-order) sequence is a pure function of the
+ * per-bank event streams, so aggregate results are bit-identical
+ * for every bank-domain count, including one.
+ */
+class BankEgress
+{
+  public:
+    BankEgress(unsigned banks, std::function<unsigned(Addr)> bank_of)
+        : bankOf_(std::move(bank_of)), lanes_(banks)
+    {}
+
+    void
+    response(UpstreamBoundary *up, Addr addr, Tick at, PacketPtr pkt)
+    {
+        lanes_[bankOf_(addr)].push_back(
+            Record{Record::Response, up, at, pkt, 0});
+    }
+
+    void
+    invalidate(UpstreamBoundary *up, Addr block_addr)
+    {
+        lanes_[bankOf_(block_addr)].push_back(
+            Record{Record::Invalidate, up, 0, nullptr, block_addr});
+    }
+
+    void
+    downgrade(UpstreamBoundary *up, Addr block_addr)
+    {
+        lanes_[bankOf_(block_addr)].push_back(
+            Record{Record::Downgrade, up, 0, nullptr, block_addr});
+    }
+
+    /** Barrier-time flush (main thread), ascending bank order. */
+    void
+    flush()
+    {
+        for (auto &lane : lanes_) {
+            for (const Record &r : lane) {
+                switch (r.kind) {
+                  case Record::Response:
+                    r.up->deliverResponseAt(r.at, r.pkt);
+                    break;
+                  case Record::Invalidate:
+                    r.up->deliverInvalidate(r.addr);
+                    break;
+                  case Record::Downgrade:
+                    r.up->deliverDowngrade(r.addr);
+                    break;
+                }
+            }
+            lane.clear();
+        }
+    }
+
+  private:
+    struct Record {
+        enum Kind { Response, Invalidate, Downgrade } kind;
+        UpstreamBoundary *up;
+        Tick at;
+        PacketPtr pkt;
+        Addr addr;
+    };
+
+    std::function<unsigned(Addr)> bankOf_;
+    std::vector<std::vector<Record>> lanes_;
+};
+
+inline void
+UpstreamBoundary::scheduleResponse(EventQueue &eq, Cycles delay,
+                                   PacketPtr pkt)
+{
+    Tick at = eq.curTick() + delay;
+    if (egress_) {
+        egress_->response(this, pkt->addr, at, pkt);
+        return;
+    }
+    deliverResponseAt(at, pkt);
+}
+
+inline void
+UpstreamBoundary::recvInvalidate(Addr block_addr)
+{
+    if (egress_) {
+        egress_->invalidate(this, block_addr);
+        return;
+    }
+    deliverInvalidate(block_addr);
+}
+
+inline void
+UpstreamBoundary::recvDowngrade(Addr block_addr)
+{
+    if (egress_) {
+        egress_->downgrade(this, block_addr);
+        return;
+    }
+    deliverDowngrade(block_addr);
+}
 
 /** A private component's view of the L2 in the shared shard. */
 class DownstreamBoundary : public MemDevice
@@ -146,39 +304,99 @@ class DownstreamBoundary : public MemDevice
 
     /**
      * Barrier-time handoff (main thread): replay every parked packet
-     * into the shared queue at its original send tick. Injection
-     * retries each tick while the device exerts backpressure, like a
-     * sender's send queue would.
+     * into the shared queue at its original send tick.
      */
     void
     drainTo(EventQueue &shared_eq)
     {
         for (auto &[when, pkt] : lane_)
-            shared_eq.schedule(when, Inject{lower_, pkt, &shared_eq});
+            shared_eq.schedule(when, LaneInject{lower_, pkt,
+                                                &shared_eq});
+        lane_.clear();
+    }
+
+    /**
+     * Bank-domain variant: route each packet into the queue of the
+     * bank that owns its address, so it executes in that bank's
+     * domain. Called for every boundary in wiring order, giving
+     * same-tick packets within a bank a deterministic
+     * (boundary, send-order) sequence independent of the cluster
+     * and bank-domain counts.
+     */
+    void
+    drainBanked(const std::function<EventQueue &(Addr)> &queue_of)
+    {
+        for (auto &[when, pkt] : lane_) {
+            EventQueue &eq = queue_of(pkt->addr);
+            eq.schedule(when, LaneInject{lower_, pkt, &eq});
+        }
         lane_.clear();
     }
 
     bool laneEmpty() const { return lane_.empty(); }
 
   private:
-    struct Inject {
-        MemDevice *dev;
-        PacketPtr pkt;
-        EventQueue *eq;
-
-        void
-        operator()() const
-        {
-            if (!dev->recvRequest(pkt))
-                eq->schedule(eq->curTick() + 1, *this);
-        }
-    };
-
     MemDevice *lower_;
     UpstreamBoundary *pair_;
     EventQueue *clusterEq_;
     std::string name_;
     std::vector<std::pair<Tick, PacketPtr>> lane_;
+};
+
+/**
+ * The L2's memory side in bank-domain mode: parks each downstream
+ * packet (miss fetch, writeback, clean evict) in the lane of its
+ * owning bank, and the main thread replays the lanes into the
+ * shared DRAM queue in ascending bank order at the barrier. DRAM
+ * keeps serving requests serially on the base queue; only the
+ * arrival order of same-tick requests is canonicalized, making
+ * channel arbitration independent of the bank-to-domain grouping.
+ */
+class BankLaneRouter : public MemDevice
+{
+  public:
+    BankLaneRouter(MemDevice *lower,
+                   std::vector<EventQueue *> bank_eqs,
+                   std::function<unsigned(Addr)> bank_of,
+                   std::string name)
+        : lower_(lower), bankEqs_(std::move(bank_eqs)),
+          bankOf_(std::move(bank_of)), lanes_(bankEqs_.size()),
+          name_(std::move(name))
+    {}
+
+    bool
+    recvRequest(PacketPtr pkt) override
+    {
+        unsigned bank = bankOf_(pkt->addr);
+        lanes_[bank].emplace_back(bankEqs_[bank]->curTick(), pkt);
+        return true;
+    }
+
+    void functionalAccess(Packet &pkt) override
+    {
+        lower_->functionalAccess(pkt);
+    }
+
+    std::string deviceName() const override { return name_; }
+
+    /** Barrier-time flush (main thread), ascending bank order. */
+    void
+    drainTo(EventQueue &shared_eq)
+    {
+        for (auto &lane : lanes_) {
+            for (auto &[when, pkt] : lane)
+                shared_eq.schedule(when, LaneInject{lower_, pkt,
+                                                    &shared_eq});
+            lane.clear();
+        }
+    }
+
+  private:
+    MemDevice *lower_;
+    std::vector<EventQueue *> bankEqs_;
+    std::function<unsigned(Addr)> bankOf_;
+    std::vector<std::vector<std::pair<Tick, PacketPtr>>> lanes_;
+    std::string name_;
 };
 
 } // namespace pvsim

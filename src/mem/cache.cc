@@ -67,9 +67,14 @@ Cache::Cache(SimContext &ctx, const CacheParams &params,
                    "writebacks below, PVTable addresses"),
       missLatency(this, "miss_latency",
                   "demand miss latency (cycles)", 0, 1600, 50),
-      params_(params), addrMap_(addr_map),
-      mshrs_(params.numMshrs)
+      params_(params), addrMap_(addr_map)
 {
+    mshrs_.emplace_back(params_.numMshrs);
+    pendingLookups_.assign(1, 0);
+    accessCounter_.assign(1, 0);
+    victimScratch_.resize(1);
+    sendQueue_.resize(1);
+    drainScheduled_.assign(1, 0);
     pv_assert(params_.sizeBytes % (uint64_t(params_.assoc) *
                                    kBlockBytes) == 0,
               "cache size must be a multiple of assoc * block size");
@@ -87,6 +92,37 @@ Cache::Cache(SimContext &ctx, const CacheParams &params,
     if (params_.dropPvWritebacks)
         pv_assert(addrMap_ != nullptr,
                   "dropPvWritebacks requires an address map");
+}
+
+void
+Cache::enableBankPartition()
+{
+    pv_assert(params_.banks > 0, "bank partition needs banks");
+    pv_assert(numSets_ % params_.banks == 0,
+              "%s: bank partition needs banks to divide the set "
+              "count (%u sets, %u banks) so every set is owned by "
+              "one bank",
+              name().c_str(), numSets_, params_.banks);
+    pv_assert(lruFast_ || params_.replPolicy == "fifo",
+              "%s: bank partition requires a stateless replacement "
+              "policy", name().c_str());
+    pv_assert(outstandingMisses() == 0 && pendingLookups() == 0 &&
+                  sendQueueDepth() == 0 && accessCounter_[0] == 0,
+              "%s: enableBankPartition after traffic",
+              name().c_str());
+    stateBanks_ = params_.banks;
+    const unsigned per_bank =
+        std::max(1u, params_.numMshrs / stateBanks_);
+    mshrs_.clear();
+    for (unsigned b = 0; b < stateBanks_; ++b)
+        mshrs_.emplace_back(per_bank);
+    pendingLookups_.assign(stateBanks_, 0);
+    accessCounter_.assign(stateBanks_, 0);
+    victimScratch_.clear();
+    victimScratch_.resize(stateBanks_);
+    sendQueue_.clear();
+    sendQueue_.resize(stateBanks_);
+    drainScheduled_.assign(stateBanks_, 0);
 }
 
 int
@@ -140,7 +176,12 @@ Cache::numValidBlocks() const
 bool
 Cache::quiesced() const
 {
-    return mshrs_.used() == 0 && sendQueue_.empty();
+    if (outstandingMisses() != 0)
+        return false;
+    for (const auto &q : sendQueue_)
+        if (!q.empty())
+            return false;
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -243,11 +284,12 @@ Cache::serveHit(Packet &pkt, CacheBlk &blk)
 void
 Cache::completeAccess_(Packet &pkt, CacheBlk &blk)
 {
+    uint64_t &ctr = accessCounter_[stateBankOf(blk.blockAddr)];
     if (lruFast_) {
-        blk.lastTouch = ++accessCounter_;
+        blk.lastTouch = ++ctr;
         lastTouch_[size_t(&blk - blocks_.data())] = blk.lastTouch;
     } else {
-        repl_->touch(blk, ++accessCounter_);
+        repl_->touch(blk, ++ctr);
     }
 
     switch (pkt.cmd) {
@@ -321,10 +363,11 @@ Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
             }
             frame = &blocks_[base + best];
         } else {
-            victimScratch_.clear();
+            auto &scratch = victimScratch_[stateBankOf(aligned)];
+            scratch.clear();
             for (unsigned w = 0; w < assoc; ++w)
-                victimScratch_.push_back(&blocks_[base + w]);
-            frame = victimScratch_[repl_->victim(victimScratch_)];
+                scratch.push_back(&blocks_[base + w]);
+            frame = scratch[repl_->victim(scratch)];
         }
         evictBlock(*frame);
     }
@@ -339,11 +382,12 @@ Cache::installBlock(Addr block_addr, bool writable, bool is_pv,
     frame->isPv = is_pv;
     frame->sharers.reset();
     frame->ownerSlot = -1;
-    ++accessCounter_;
-    frame->lastTouch = accessCounter_;
-    frame->insertedAt = accessCounter_;
+    uint64_t &ctr = accessCounter_[stateBankOf(aligned)];
+    ++ctr;
+    frame->lastTouch = ctr;
+    frame->insertedAt = ctr;
     if (lruFast_)
-        lastTouch_[size_t(frame - blocks_.data())] = accessCounter_;
+        lastTouch_[size_t(frame - blocks_.data())] = ctr;
     if (data)
         frame->ensureData() = *data;
     else
@@ -460,8 +504,7 @@ Cache::emitDown(PacketPtr pkt)
         freePacket(pkt);
         return;
     }
-    sendQueue_.push_back(pkt);
-    drainSendQueue();
+    sendDownstream(pkt);
 }
 
 // ---------------------------------------------------------------------
@@ -568,18 +611,20 @@ Cache::recvRequest(PacketPtr pkt)
         return true;
     }
 
-    // Structural backpressure: refuse when the MSHR file (including
-    // accepted-but-unresolved lookups) is full and the request
-    // cannot coalesce, or our own send queue is clogged.
+    // Structural backpressure: refuse when the bank's MSHR file
+    // (including accepted-but-unresolved lookups) is full and the
+    // request cannot coalesce, or the bank's send queue is clogged.
+    const unsigned bank = stateBankOf(pkt->addr);
+    MshrFile &mshrs = mshrs_[bank];
     bool mshr_budget_full =
-        mshrs_.used() + pendingLookups_ >= mshrs_.capacity();
-    if (mshr_budget_full && !mshrs_.find(blockAlign(pkt->addr)) &&
+        mshrs.used() + pendingLookups_[bank] >= mshrs.capacity();
+    if (mshr_budget_full && !mshrs.find(blockAlign(pkt->addr)) &&
         !findBlock(pkt->addr)) {
         ++mshrRejects;
         return false;
     }
-    if (sendQueue_.size() >= params_.writeBufferEntries +
-                                 params_.numMshrs) {
+    if (sendQueue_[bank].size() >= params_.writeBufferEntries +
+                                       params_.numMshrs) {
         ++mshrRejects;
         return false;
     }
@@ -587,7 +632,7 @@ Cache::recvRequest(PacketPtr pkt)
     if (pkt->issueTick == 0)
         pkt->issueTick = curTick();
 
-    ++pendingLookups_;
+    ++pendingLookups_[bank];
     Tick ready = bankReadyTick(pkt->addr);
     Tick lookup_done = ready + params_.tagLatency;
     schedule(lookup_done - curTick(),
@@ -636,8 +681,9 @@ Cache::probeAccess(PacketPtr pkt)
 void
 Cache::handleLookup(PacketPtr pkt)
 {
-    pv_assert(pendingLookups_ > 0, "lookup underflow");
-    --pendingLookups_;
+    unsigned &pending = pendingLookups_[stateBankOf(pkt->addr)];
+    pv_assert(pending > 0, "lookup underflow");
+    --pending;
     if (probeAccess(pkt)) {
         // Let the destination place the delivery event: a client in
         // another timing domain (sharded mode's cluster boundary)
@@ -651,7 +697,8 @@ void
 Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
 {
     Addr baddr = blockAlign(pkt->addr);
-    Mshr *mshr = mshrs_.find(baddr);
+    MshrFile &mshrs = mshrs_[stateBankOf(baddr)];
+    Mshr *mshr = mshrs.find(baddr);
     if (mshr) {
         ++mshrCoalesced;
         if (mshr->prefetchOnly && !pkt->isPrefetch) {
@@ -677,7 +724,7 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
         return;
     }
 
-    if (mshrs_.full()) {
+    if (mshrs.full()) {
         // Filled up since acceptance; retry the MSHR allocation only
         // (stats and listener hooks already ran exactly once).
         schedule(1, [this, pkt, down_cmd] {
@@ -686,7 +733,7 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
         return;
     }
 
-    Mshr &m = mshrs_.allocate(baddr, curTick());
+    Mshr &m = mshrs.allocate(baddr, curTick());
     m.needsWritable = pkt->needsWritable();
     m.prefetchOnly = pkt->isPrefetch;
     m.wasPrefetch = pkt->isPrefetch;
@@ -713,37 +760,56 @@ Cache::missToMshr_(PacketPtr pkt, MemCmd down_cmd)
 void
 Cache::sendDownstream(PacketPtr pkt)
 {
-    sendQueue_.push_back(pkt);
-    drainSendQueue();
+    const unsigned bank = stateBankOf(pkt->addr);
+    sendQueue_[bank].push_back(pkt);
+    drainSendQueue(bank);
 }
 
 void
-Cache::drainSendQueue()
+Cache::drainSendQueue(unsigned bank)
 {
-    if (drainScheduled_ || sendQueue_.empty())
+    auto &queue = sendQueue_[bank];
+    if (drainScheduled_[bank] || queue.empty())
         return;
     pv_assert(memSide_ != nullptr, "%s: no memory side",
               name().c_str());
-    while (!sendQueue_.empty()) {
-        PacketPtr head = sendQueue_.front();
+    while (!queue.empty()) {
+        PacketPtr head = queue.front();
         if (!memSide_->recvRequest(head))
             break;
-        sendQueue_.pop_front();
+        queue.pop_front();
     }
-    if (!sendQueue_.empty()) {
-        drainScheduled_ = true;
-        schedule(1, [this] {
-            drainScheduled_ = false;
-            drainSendQueue();
+    if (!queue.empty()) {
+        drainScheduled_[bank] = 1;
+        schedule(1, [this, bank] {
+            drainScheduled_[bank] = 0;
+            drainSendQueue(bank);
         });
     }
+}
+
+void
+Cache::scheduleResponse(EventQueue &eq, Cycles delay, PacketPtr pkt)
+{
+    if (responseRouter_) {
+        // Bank-domain mode: the fill must execute in the owning
+        // bank's domain, not the domain of the sender (DRAM on the
+        // base queue). The due tick carries at least the DRAM
+        // latency, so it is always beyond the bank's current window.
+        EventQueue *teq = responseRouter_(pkt->addr);
+        teq->schedule(eq.curTick() + delay, EventQueue::kPrioResponse,
+                      [this, pkt] { recvResponse(pkt); });
+        return;
+    }
+    MemClient::scheduleResponse(eq, delay, pkt);
 }
 
 void
 Cache::recvResponse(PacketPtr pkt)
 {
     Addr baddr = blockAlign(pkt->addr);
-    Mshr *mshr = mshrs_.find(baddr);
+    MshrFile &mshrs = mshrs_[stateBankOf(baddr)];
+    Mshr *mshr = mshrs.find(baddr);
     pv_assert(mshr != nullptr, "%s: response with no MSHR for %llx",
               name().c_str(), (unsigned long long)baddr);
 
@@ -764,7 +830,7 @@ Cache::recvResponse(PacketPtr pkt)
     // Complete the waiting targets in arrival order.
     std::vector<PacketPtr> targets;
     targets.swap(mshr->targets);
-    mshrs_.deallocate(*mshr);
+    mshrs.deallocate(*mshr);
 
     for (PacketPtr t : targets) {
         if (t->isPrefetchReq() && t->src == nullptr) {
@@ -835,18 +901,19 @@ Cache::issuePrefetch(Addr block_addr, Addr pc)
         return true;
     }
 
-    if (mshrs_.find(baddr)) {
+    MshrFile &mshrs = mshrs_[stateBankOf(baddr)];
+    if (mshrs.find(baddr)) {
         ++prefetchDropped;
         return false;
     }
-    if (mshrs_.full()) {
+    if (mshrs.full()) {
         ++prefetchDropped;
         return false;
     }
 
     ++prefetchIssued;
     countRequest_prefetch_(baddr);
-    Mshr &m = mshrs_.allocate(baddr, curTick());
+    Mshr &m = mshrs.allocate(baddr, curTick());
     m.prefetchOnly = true;
     m.wasPrefetch = true;
     m.inService = true;

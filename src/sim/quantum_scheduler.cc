@@ -36,8 +36,18 @@ QuantumScheduler::startWorkers()
 }
 
 void
+QuantumScheduler::setWorkerInit(std::function<void(unsigned)> fn)
+{
+    pv_assert(workers_.empty(),
+              "setWorkerInit must precede the first runWindow");
+    workerInit_ = std::move(fn);
+}
+
+void
 QuantumScheduler::workerMain(unsigned idx)
 {
+    if (workerInit_)
+        workerInit_(idx);
     EventQueue &eq = *queues_[idx];
     uint64_t seen = 0;
     for (;;) {

@@ -22,6 +22,7 @@
 #define PVSIM_SIM_QUANTUM_SCHEDULER_HH
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -62,12 +63,22 @@ class QuantumScheduler
     /** Total events executed across cluster queues. */
     uint64_t eventsExecuted() const;
 
+    /**
+     * Hook run once on each worker thread, on that thread, before
+     * its first window (argument: the worker's queue index). Used
+     * to install thread-local state that must live for the worker's
+     * lifetime — e.g. a stats::Deferral for workers whose models
+     * share stat objects. Must be set before the first runWindow().
+     */
+    void setWorkerInit(std::function<void(unsigned)> fn);
+
   private:
     void workerMain(unsigned idx);
     void startWorkers();
 
     std::vector<std::unique_ptr<EventQueue>> queues_;
     std::vector<std::thread> workers_;
+    std::function<void(unsigned)> workerInit_;
 
     std::mutex mu_;
     std::condition_variable cvWork_;

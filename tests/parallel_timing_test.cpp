@@ -2,12 +2,14 @@
  * @file
  * Sharded timing mode: determinism and safety.
  *
- * The contract under test (ISSUE 6): whenever the quantum machinery
- * is engaged (timingShards != 1 or an explicit syncQuantum), every
- * shard count produces bit-identical aggregate statistics and the
- * same finish tick — worker threads change wall-clock, never
- * results. The serial default (timingShards=1, syncQuantum=0) must
- * not construct any of the machinery at all.
+ * The contract under test (ISSUEs 6 and 7): whenever the quantum
+ * machinery is engaged (timingShards != 1 or an explicit
+ * syncQuantum), every (timingShards, l2BankDomains) combination
+ * produces bit-identical aggregate statistics and the same finish
+ * tick — worker threads, bank partitioning and bank-to-domain
+ * grouping change wall-clock, never results. The serial default
+ * (timingShards=1, syncQuantum=0) must not construct any of the
+ * machinery at all.
  */
 
 #include <gtest/gtest.h>
@@ -45,6 +47,15 @@ pvConfig(unsigned shards, Cycles quantum)
     cfg.btb.mode = BtbMode::Virtualized;
     cfg.btbMispredictPenalty = 12;
     cfg.pvBytesPerCore = 256 * 1024; // PHT + BTB tenants
+    return cfg;
+}
+
+/** timingConfig plus an explicit L2 bank-domain request. */
+SystemConfig
+bankConfig(unsigned shards, unsigned bank_domains, Cycles quantum)
+{
+    SystemConfig cfg = timingConfig(shards, quantum);
+    cfg.l2BankDomains = bank_domains;
     return cfg;
 }
 
@@ -179,6 +190,87 @@ TEST(ParallelTiming, ShardsClampToCoreCount)
     EXPECT_EQ(sys.timingShardsEffective(), 4u);
     EXPECT_EQ(sys.syncQuantumEffective(),
               sys.config().l2DataLatency);
+}
+
+TEST(ParallelTiming, ShardBankDomainGridIdenticalStats)
+{
+    // The PR 7 contract: for a fixed quantum, every
+    // (timingShards, l2BankDomains) combination on the quantum path
+    // produces bit-identical aggregate statistics and finish tick —
+    // bank partitioning and bank-to-domain grouping change
+    // wall-clock, never results.
+    const uint64_t records = 3000;
+    RunResult reference = run(bankConfig(1, 1, 12), records);
+    for (unsigned shards : {1u, 2u, 4u}) {
+        for (unsigned banks : {1u, 2u, 8u}) {
+            if (shards == 1 && banks == 1)
+                continue; // the reference itself
+            RunResult r =
+                run(bankConfig(shards, banks, 12), records);
+            EXPECT_EQ(r.finish, reference.finish)
+                << shards << " shards x " << banks
+                << " bank domains changed the finish tick";
+            EXPECT_EQ(r.instructions, reference.instructions);
+            EXPECT_EQ(r.stats, reference.stats)
+                << shards << " shards x " << banks
+                << " bank domains changed aggregate statistics";
+        }
+    }
+}
+
+TEST(ParallelTiming, PvProxyIdenticalAcrossBankDomains)
+{
+    // PV traffic exercises the proxy -> L2 -> DRAM path through the
+    // bank lanes; the grid must stay bit-identical there too.
+    const uint64_t records = 2500;
+    SystemConfig ref_cfg = pvConfig(1, 12);
+    ref_cfg.l2BankDomains = 1;
+    RunResult reference = run(ref_cfg, records);
+    for (unsigned banks : {2u, 8u}) {
+        SystemConfig cfg = pvConfig(4, 12);
+        cfg.l2BankDomains = banks;
+        RunResult r = run(cfg, records);
+        EXPECT_EQ(r.finish, reference.finish);
+        EXPECT_EQ(r.stats, reference.stats)
+            << banks
+            << " bank domains changed stats under PV traffic";
+    }
+}
+
+TEST(ParallelTiming, BankDomainsClampAndDefault)
+{
+    {
+        // Serial default: no machinery, one (implicit) domain.
+        System sys(timingConfig(1, 0));
+        EXPECT_FALSE(sys.shardedTiming());
+        EXPECT_EQ(sys.l2BankDomainsEffective(), 1u);
+    }
+    {
+        // Explicit requests clamp to the bank count.
+        SystemConfig cfg = bankConfig(2, 64, 0);
+        System sys(cfg);
+        EXPECT_EQ(sys.l2BankDomainsEffective(), cfg.l2Banks);
+        EXPECT_TRUE(sys.l2().bankPartitioned());
+    }
+    {
+        // Auto (0) follows PVSIM_JOBS like the shard count does.
+        JobsEnv env("2");
+        System sys(bankConfig(2, 0, 0));
+        EXPECT_EQ(sys.l2BankDomainsEffective(), 2u);
+    }
+}
+
+TEST(ParallelTiming, PhaseTimersAccountShardedWindows)
+{
+    SystemConfig cfg = bankConfig(2, 2, 0);
+    System sys(cfg);
+    sys.runTiming(1000);
+    // Both phases ran and were measured; resetStats clears them.
+    EXPECT_GT(sys.clusterPhaseSeconds() + sys.sharedPhaseSeconds(),
+              0.0);
+    sys.resetStats();
+    EXPECT_EQ(sys.clusterPhaseSeconds(), 0.0);
+    EXPECT_EQ(sys.sharedPhaseSeconds(), 0.0);
 }
 
 TEST(ParallelTiming, ManyCoreShardedRunCompletes)

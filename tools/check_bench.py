@@ -27,14 +27,21 @@ What is gated, and why these tolerances:
   protection percentages within --hit-tol-pp of the baseline, and
   the best protection across settings must stay positive — the
   experiment's reason to exist.
-* fig9 many_core section: the serial-vs-sharded stats dumps must be
-  bit-identical (the sharded-timing determinism contract), both IPCs
-  within --ipc-rel-tol of the committed baseline, events/sec above
+* fig9 many_core section: the serial / sharded-only / sharded+banked
+  stats dumps must be bit-identical (the parallel-timing determinism
+  contract, now across bank domains too), all IPCs within
+  --ipc-rel-tol of the committed baseline, events/sec above
   --events-floor, and — only when the producing host had >= 4 cores
   and actually ran >= 2 shards — the sharded run must be at least
-  --speedup-floor times faster than the serial reference. The
-  host-core condition keeps the gate honest on small containers
-  where the workers cannot help.
+  --speedup-floor times faster than the serial reference. On hosts
+  with >= 8 cores that actually ran >= 2 bank domains, the
+  sharded+banked run must additionally reach the committed
+  baseline's sharded-only events/sec (the PR 6 floor): bank domains
+  must never make the sharded path slower where they can help. Every
+  many_core_scale row (128/256 cores) must be bit-identical between
+  its sharded-only and banked runs. The per-phase wall-clock
+  breakdown (cluster vs shared-domain = measured serial fraction) is
+  printed for every side as part of the summary.
 
 Usage (CI runs this from build-release/):
   check_bench.py --baseline-dir ../tools/baselines \
@@ -90,6 +97,8 @@ def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
         if cur is None:
             continue
         label = f"fig9 {key[0]}@{key[1]}"
+        if "cluster_phase_seconds" in cur:
+            print(f"{label}: {phase_summary(cur)}")
         gate.close(
             cur["speedup_pct"] - base["speedup_pct"],
             tol_pp,
@@ -110,6 +119,20 @@ def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
                 )
 
 
+def phase_summary(run):
+    """One-line cluster/shared phase split for a many-core run."""
+    cluster = run.get("cluster_phase_seconds", 0.0)
+    shared = run.get("shared_phase_seconds", 0.0)
+    frac = run.get("serial_fraction")
+    if frac is None:
+        total = cluster + shared
+        frac = shared / total if total > 0 else 0.0
+    return (
+        f"cluster {cluster:.3f}s + shared {shared:.3f}s "
+        f"(serial fraction {100.0 * frac:.1f}%)"
+    )
+
+
 def check_many_core(
     gate, current, baseline, ipc_rel, events_floor, speedup_floor
 ):
@@ -122,12 +145,19 @@ def check_many_core(
         return
     gate.check(
         mc.get("bit_identical") is True,
-        "fig9 many_core: sharded run diverged from the serial "
-        "reference — sharded-timing determinism broken",
+        "fig9 many_core: serial / sharded / banked runs diverged — "
+        "parallel-timing determinism broken",
     )
     base = baseline.get("many_core", {})
-    for side in ("serial", "sharded"):
-        run = mc.get(side, {})
+    for side in ("serial", "sharded", "banked"):
+        run = mc.get(side)
+        gate.check(
+            isinstance(run, dict),
+            f"fig9 many_core: '{side}' run missing from artifact",
+        )
+        if not isinstance(run, dict):
+            continue
+        print(f"many_core {side}: {phase_summary(run)}")
         b = base.get(side, {}).get("ipc", 0)
         if b > 0:
             gate.close(
@@ -140,8 +170,9 @@ def check_many_core(
             f"{run.get('events_per_sec', 0):.0f} below floor "
             f"{events_floor:.0f}",
         )
-    # The perf promise only binds where it can physically hold:
-    # enough host cores to run the shards and a run that sharded.
+    # The perf promises only bind where they can physically hold:
+    # enough host cores to run the shards / bank workers, and a run
+    # that actually sharded (resp. banked).
     host_cores = mc.get("host_cores", 1)
     shards = mc.get("sharded", {}).get("shards", 1)
     if host_cores >= 4 and shards >= 2:
@@ -156,6 +187,40 @@ def check_many_core(
             f"note: many_core speedup not gated "
             f"(host_cores={host_cores}, shards={shards})"
         )
+    # Bank domains must not cost throughput where they can help: on
+    # a >= 8-core host the sharded+banked run has to reach the
+    # committed baseline's sharded-only events/sec (the PR 6 floor).
+    banks = mc.get("banked", {}).get("bank_domains", 1)
+    if host_cores >= 8 and shards >= 2 and banks >= 2:
+        floor = base.get("sharded", {}).get("events_per_sec", 0)
+        got = mc.get("banked", {}).get("events_per_sec", 0)
+        gate.check(
+            got >= floor,
+            f"fig9 many_core: sharded+banked events/sec {got:.0f} "
+            f"below the baseline sharded-only floor {floor:.0f} on "
+            f"a {host_cores}-core host ({banks} bank domains)",
+        )
+    else:
+        print(
+            f"note: many_core banked-vs-sharded floor not gated "
+            f"(host_cores={host_cores}, shards={shards}, "
+            f"bank_domains={banks})"
+        )
+    # Scale ladder: each rung's sharded-vs-banked pair must agree
+    # bit for bit, whatever the host.
+    for row in current.get("many_core_scale", []):
+        cores = row.get("cores", 0)
+        gate.check(
+            row.get("bit_identical") is True,
+            f"fig9 many_core_scale {cores} cores: banked run "
+            f"diverged from the sharded reference",
+        )
+        for side in ("sharded", "banked"):
+            run = row.get(side, {})
+            print(
+                f"many_core_scale {cores} {side}: "
+                f"{phase_summary(run)}"
+            )
 
 
 def check_stepping(gate, current):
@@ -203,6 +268,8 @@ def check_qos(gate, current, baseline, hit_tol_pp):
         gate.check(
             cur["ipc"] > 0, f"qos {label}: zero IPC"
         )
+        if "cluster_phase_seconds" in cur:
+            print(f"qos {label}: {phase_summary(cur)}")
         for field in ("avail_redirect_pct", "avail_improvement_pct"):
             gate.close(
                 cur[field] - base[field], hit_tol_pp,
@@ -216,6 +283,31 @@ def check_qos(gate, current, baseline, hit_tol_pp):
         best > 0.0,
         f"qos: no setting protects the BTB (best {best:.1f}%)",
     )
+    het = current.get("heterogeneous")
+    if isinstance(het, dict):
+        clusters = het.get("clusters", [])
+        gate.check(
+            len(clusters) == 4,
+            f"qos heterogeneous: expected 4 cluster rows, got "
+            f"{len(clusters)}",
+        )
+        for side in ("reference", "protected"):
+            run = het.get(side, {})
+            gate.check(
+                run.get("ipc", 0) > 0,
+                f"qos heterogeneous {side}: zero IPC",
+            )
+            print(f"qos heterogeneous {side}: {phase_summary(run)}")
+        for c in clusters:
+            gate.check(
+                c.get("btb_hit_pct", 0) > 0,
+                f"qos heterogeneous {c.get('cluster')}: BTB tenant "
+                f"starved (zero hit rate)",
+            )
+            print(
+                f"qos heterogeneous {c.get('cluster')}: protection "
+                f"{c.get('avail_improvement_pct', 0):+.1f}%"
+            )
 
 
 def main():
