@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/config_presets.hh"
 #include "harness/metrics.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
@@ -53,68 +54,18 @@ struct BenchOptions {
     }
 };
 
-/** Everything a functional run produces. */
-struct FunctionalResult {
-    CoverageMetrics coverage;
-    TrafficMetrics traffic;
-    double pvL2FillRate = 0.0; ///< PVProxy requests served by L2
-};
+// The standard prefetcher configurations (baselineConfig, smsConfig,
+// smsInfiniteConfig, pvConfig) and FunctionalResult moved to
+// harness/config_presets.hh so the scenario loader and the examples
+// share the exact builders the benches measure. The unqualified names
+// keep resolving here via the enclosing pvsim namespace.
 
 /** Build, warm up, measure one functional configuration. */
 inline FunctionalResult
 runFunctional(SystemConfig cfg, const BenchOptions &opt)
 {
-    cfg.mode = SimMode::Functional;
-    System sys(cfg);
-    sys.runFunctional(opt.warmupRefs);
-    sys.resetStats();
-    sys.runFunctional(opt.measureRefs);
-
-    FunctionalResult r;
-    r.coverage = coverageOf(sys);
-    r.traffic = trafficOf(sys);
-    uint64_t pv_req = sys.l2().requestsPv.value();
-    uint64_t pv_miss = sys.l2().missesPv.value();
-    r.pvL2FillRate =
-        pv_req ? 1.0 - double(pv_miss) / double(pv_req) : 0.0;
-    return r;
-}
-
-/** The paper's standard prefetcher configurations. */
-inline SystemConfig
-baselineConfig(const std::string &workload)
-{
-    SystemConfig cfg;
-    cfg.workload = workload;
-    cfg.prefetch = PrefetchMode::None;
-    return cfg;
-}
-
-inline SystemConfig
-smsConfig(const std::string &workload, PhtGeometry geom)
-{
-    SystemConfig cfg = baselineConfig(workload);
-    cfg.prefetch = PrefetchMode::SmsDedicated;
-    cfg.phtGeometry = geom;
-    return cfg;
-}
-
-inline SystemConfig
-smsInfiniteConfig(const std::string &workload)
-{
-    SystemConfig cfg = baselineConfig(workload);
-    cfg.prefetch = PrefetchMode::SmsInfinite;
-    return cfg;
-}
-
-inline SystemConfig
-pvConfig(const std::string &workload, unsigned pvcache_entries)
-{
-    SystemConfig cfg = baselineConfig(workload);
-    cfg.prefetch = PrefetchMode::SmsVirtualized;
-    cfg.phtGeometry = {1024, 11}; // the paper virtualizes 1K-11a
-    cfg.pvCacheEntries = pvcache_entries;
-    return cfg;
+    return runFunctionalMeasured(std::move(cfg), opt.warmupRefs,
+                                 opt.measureRefs);
 }
 
 /** Print in the requested format. */

@@ -43,7 +43,9 @@
 #include <thread>
 
 #include "bench_common.hh"
+#include "config/scenario.hh"
 #include "harness/metrics.hh"
+#include "harness/row_json.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
 #include "util/args.hh"
@@ -157,25 +159,50 @@ main(int argc, char **argv)
     const bool smoke = args.getBool("smoke", false);
     const bool csv = args.getBool("csv", false);
 
+    // --scenario FILE: take every sweep option from a scenario file
+    // (kind "fig9") instead of the flags below; the many-core
+    // scaling section defaults to skipped since the scenario
+    // describes only the sweep.
+    const std::string scenario_file = args.getString("scenario", "");
+
     Fig9Options opt;
-    opt.penalty = args.getUint("penalty", 8);
-    opt.btbSets = unsigned(args.getUint("btb-sets", opt.btbSets));
-    opt.numCores = int(args.getUint("cores", 4));
-    opt.batches = unsigned(std::max<uint64_t>(
-        1, args.getUint("batches", smoke ? 2 : 4)));
-    opt.warmupRecords =
-        args.getUint("warmup-records", smoke ? 1'000 : 20'000);
-    opt.measureRecords =
-        args.getUint("measure-records", smoke ? 3'000 : 60'000);
-    // 16+ cores default to auto-sharding (--shards 0): a serial
-    // event loop over that many cores is pure queue contention.
-    opt.timingShards = unsigned(args.getUint(
-        "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
-    opt.syncQuantum =
-        Cycles(args.getUint("quantum", opt.syncQuantum));
-    opt.l2BankDomains =
-        unsigned(args.getUint("bank-domains", opt.l2BankDomains));
-    const bool skip_many_core = args.getBool("skip-many-core", false);
+    if (!scenario_file.empty()) {
+        Scenario s;
+        try {
+            s = loadScenarioFile(scenario_file);
+        } catch (const std::exception &e) {
+            std::cerr << "fig9_sweep: " << e.what() << "\n";
+            return 2;
+        }
+        if (s.kind != "fig9") {
+            std::cerr << "fig9_sweep: " << scenario_file
+                      << " has kind \"" << s.kind
+                      << "\", want \"fig9\"\n";
+            return 2;
+        }
+        opt = s.fig9;
+    } else {
+        opt.penalty = args.getUint("penalty", 8);
+        opt.btbSets =
+            unsigned(args.getUint("btb-sets", opt.btbSets));
+        opt.numCores = int(args.getUint("cores", 4));
+        opt.batches = unsigned(std::max<uint64_t>(
+            1, args.getUint("batches", smoke ? 2 : 4)));
+        opt.warmupRecords =
+            args.getUint("warmup-records", smoke ? 1'000 : 20'000);
+        opt.measureRecords =
+            args.getUint("measure-records", smoke ? 3'000 : 60'000);
+        // 16+ cores default to auto-sharding (--shards 0): a serial
+        // event loop over that many cores is pure queue contention.
+        opt.timingShards = unsigned(args.getUint(
+            "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
+        opt.syncQuantum =
+            Cycles(args.getUint("quantum", opt.syncQuantum));
+        opt.l2BankDomains = unsigned(
+            args.getUint("bank-domains", opt.l2BankDomains));
+    }
+    const bool skip_many_core =
+        args.getBool("skip-many-core", !scenario_file.empty());
     const unsigned many_core_cores =
         unsigned(args.getUint("many-core-cores", 64));
     const uint64_t many_core_records =
@@ -199,40 +226,41 @@ main(int argc, char **argv)
 
     // Edge-stability sweep: "default" (the mix's own profile) plus
     // any numeric overrides in [0, 1]. Smoke runs only the default
-    // pass. Malformed values fail loudly instead of aborting.
-    for (const std::string &s : args.getList(
-             "edge-stability",
-             smoke ? std::vector<std::string>{"default"}
-                   : std::vector<std::string>{"default", "0.8",
-                                              "0.5"})) {
-        if (s == "default") {
-            opt.edgeStabilities.push_back(kFig9MixStability);
-            continue;
+    // pass. Malformed values fail loudly instead of aborting. A
+    // scenario spells its stabilities directly (validated on load).
+    if (scenario_file.empty()) {
+        for (const std::string &s : args.getList(
+                 "edge-stability",
+                 smoke ? std::vector<std::string>{"default"}
+                       : std::vector<std::string>{"default", "0.8",
+                                                  "0.5"})) {
+            if (s == "default") {
+                opt.edgeStabilities.push_back(kFig9MixStability);
+                continue;
+            }
+            size_t consumed = 0;
+            double v = -1.0;
+            try {
+                v = std::stod(s, &consumed);
+            } catch (const std::exception &) {
+            }
+            // !(in-range) rather than out-of-range tests: NaN
+            // compares false to everything and must be rejected too.
+            if (consumed != s.size() || !(v >= 0.0 && v <= 1.0)) {
+                std::cerr
+                    << "fig9_sweep: bad --edge-stability value '"
+                    << s << "' (want \"default\" or a number in "
+                    << "[0, 1])\n";
+                return 2;
+            }
+            opt.edgeStabilities.push_back(v);
         }
-        size_t consumed = 0;
-        double v = -1.0;
-        try {
-            v = std::stod(s, &consumed);
-        } catch (const std::exception &) {
-        }
-        // !(in-range) rather than out-of-range tests: NaN compares
-        // false to everything and must be rejected too.
-        if (consumed != s.size() || !(v >= 0.0 && v <= 1.0)) {
-            std::cerr << "fig9_sweep: bad --edge-stability value '"
-                      << s << "' (want \"default\" or a number in "
-                      << "[0, 1])\n";
-            return 2;
-        }
-        opt.edgeStabilities.push_back(v);
     }
 
     // fig9Sweep shards every (stability, mix, side, batch) System
-    // as one job.
-    const unsigned total_jobs =
-        unsigned(presetMixes().size() * opt.edgeStabilities.size()) *
-        2 * opt.batches;
+    // as one job (bookkeeping shared with the scenario runner).
     const unsigned jobs_requested = harnessJobs();
-    const unsigned jobs_effective = effectiveHarnessJobs(total_jobs);
+    const unsigned jobs_effective = fig9JobsEffective(opt);
 
     std::cout << "Figure 9 (BTB): dedicated-SRAM vs virtualized BTB "
               << "matched pairs, penalty=" << opt.penalty
@@ -375,28 +403,9 @@ main(int argc, char **argv)
        << ",\n"
        << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Fig9Row &r = rows[i];
-        js << "    {\"mix\": \"" << r.mix
-           << "\", \"edge_stability\": " << r.edgeStability
-           << ", \"dedicated_ipc\": " << r.dedicatedIpc
-           << ", \"virtualized_ipc\": " << r.virtualizedIpc
-           << ", \"dedicated_hit_pct\": " << r.dedicatedHitPct
-           << ", \"virtualized_hit_pct\": " << r.virtualizedHitPct
-           << ", \"speedup_pct\": " << r.speedupPct
-           << ", \"ci_pct\": " << r.ciPct
-           << ", \"wall_seconds\": " << r.wallSeconds
-           << ", \"events\": " << r.eventsExecuted
-           << ", \"events_per_sec\": " << r.eventsPerSec()
-           << ", \"jobs_effective\": " << jobs_effective
-           << ", \"timing_shards\": " << r.timingShards
-           << ", \"l2_bank_domains\": " << r.l2BankDomains
-           << ", \"cluster_phase_seconds\": "
-           << r.clusterPhaseSeconds
-           << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
-           << ", \"serial_fraction\": " << r.serialFraction() << "}"
+    for (size_t i = 0; i < rows.size(); ++i)
+        js << "    " << fig9RowJson(rows[i], jobs_effective)
            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
     js << "  ]";
     if (!skip_many_core) {
         js << ",\n  \"many_core\": {\n"

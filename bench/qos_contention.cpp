@@ -39,7 +39,9 @@
 #include <sstream>
 
 #include "bench_common.hh"
+#include "config/scenario.hh"
 #include "harness/metrics.hh"
+#include "harness/row_json.hh"
 #include "harness/table.hh"
 #include "util/args.hh"
 
@@ -53,27 +55,53 @@ main(int argc, char **argv)
     const bool smoke = args.getBool("smoke", false);
     const bool csv = args.getBool("csv", false);
 
+    // --scenario FILE: take every sweep option from a scenario file
+    // (kind "qos") instead of the flags below; the heterogeneous
+    // matrix defaults to skipped since the scenario describes only
+    // the contract sweep.
+    const std::string scenario_file = args.getString("scenario", "");
+
     QosOptions opt;
-    opt.penalty = args.getUint("penalty", 8);
-    opt.btbSets = unsigned(args.getUint("btb-sets", opt.btbSets));
-    opt.agtSets = unsigned(args.getUint("agt-sets", opt.agtSets));
-    opt.pvCacheEntries =
-        unsigned(args.getUint("pvcache", opt.pvCacheEntries));
-    opt.numCores = int(args.getUint("cores", opt.numCores));
-    opt.batches = unsigned(std::max<uint64_t>(
-        1, args.getUint("batches", smoke ? 2 : 3)));
-    opt.warmupRecords =
-        args.getUint("warmup-records", smoke ? 1'000 : 20'000);
-    opt.measureRecords =
-        args.getUint("measure-records", smoke ? 3'000 : 60'000);
-    // 16+ cores default to auto-sharding (--shards 0).
-    opt.timingShards = unsigned(args.getUint(
-        "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
-    opt.syncQuantum =
-        Cycles(args.getUint("quantum", opt.syncQuantum));
-    opt.l2BankDomains =
-        unsigned(args.getUint("bank-domains", opt.l2BankDomains));
-    const bool skip_hetero = args.getBool("skip-hetero", false);
+    if (!scenario_file.empty()) {
+        Scenario s;
+        try {
+            s = loadScenarioFile(scenario_file);
+        } catch (const std::exception &e) {
+            std::cerr << "qos_contention: " << e.what() << "\n";
+            return 2;
+        }
+        if (s.kind != "qos") {
+            std::cerr << "qos_contention: " << scenario_file
+                      << " has kind \"" << s.kind
+                      << "\", want \"qos\"\n";
+            return 2;
+        }
+        opt = s.qos;
+    } else {
+        opt.penalty = args.getUint("penalty", 8);
+        opt.btbSets =
+            unsigned(args.getUint("btb-sets", opt.btbSets));
+        opt.agtSets =
+            unsigned(args.getUint("agt-sets", opt.agtSets));
+        opt.pvCacheEntries =
+            unsigned(args.getUint("pvcache", opt.pvCacheEntries));
+        opt.numCores = int(args.getUint("cores", opt.numCores));
+        opt.batches = unsigned(std::max<uint64_t>(
+            1, args.getUint("batches", smoke ? 2 : 3)));
+        opt.warmupRecords =
+            args.getUint("warmup-records", smoke ? 1'000 : 20'000);
+        opt.measureRecords =
+            args.getUint("measure-records", smoke ? 3'000 : 60'000);
+        // 16+ cores default to auto-sharding (--shards 0).
+        opt.timingShards = unsigned(args.getUint(
+            "shards", opt.numCores >= 16 ? 0 : opt.timingShards));
+        opt.syncQuantum =
+            Cycles(args.getUint("quantum", opt.syncQuantum));
+        opt.l2BankDomains = unsigned(
+            args.getUint("bank-domains", opt.l2BankDomains));
+    }
+    const bool skip_hetero =
+        args.getBool("skip-hetero", !scenario_file.empty());
     const unsigned hetero_cores =
         unsigned(args.getUint("hetero-cores", 64));
     const std::string json_out =
@@ -93,10 +121,10 @@ main(int argc, char **argv)
     hopt.measureRecords =
         args.getUint("hetero-measure", smoke ? 1'500 : 24'000);
 
-    const unsigned total_jobs =
-        unsigned(presetQosSettings().size()) * opt.batches;
+    // qosSweep runs every (setting, batch) System as one job
+    // (bookkeeping shared with the scenario runner).
     const unsigned jobs_requested = harnessJobs();
-    const unsigned jobs_effective = effectiveHarnessJobs(total_jobs);
+    const unsigned jobs_effective = qosJobsEffective(opt);
 
     std::cout << "QoS contention: virtualized BTB (latency-critical)"
               << " vs AGT aggressor on one shared proxy per core, "
@@ -188,49 +216,11 @@ main(int argc, char **argv)
        << ",\n"
        << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
        << "  \"rows\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const QosRow &r = rows[i];
-        js << "    {\"setting\": \"" << r.label
-           << "\", \"btb_weight\": " << r.btbWeight
-           << ", \"aggressor_weight\": " << r.aggressorWeight
-           << ", \"ipc\": " << r.ipc
-           << ", \"avail_redirect_pct\": " << r.availRedirectPct
-           << ", \"btb_hit_pct\": " << r.btbHitPct
-           << ", \"btb_drop_pct\": " << r.btbDropPct
-           << ", \"aggressor_drop_pct\": " << r.aggressorDropPct
-           << ", \"btb_fill_latency\": " << r.btbFillLatency
-           << ", \"ipc_delta_pct\": " << r.ipcDeltaPct
-           << ", \"avail_improvement_pct\": "
-           << r.availImprovementPct
-           << ", \"wall_seconds\": " << r.wallSeconds
-           << ", \"events\": " << r.eventsExecuted
-           << ", \"events_per_sec\": " << r.eventsPerSec()
-           << ", \"jobs_effective\": " << jobs_effective
-           << ", \"timing_shards\": " << r.timingShards
-           << ", \"l2_bank_domains\": " << r.l2BankDomains
-           << ", \"cluster_phase_seconds\": "
-           << r.clusterPhaseSeconds
-           << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
-           << ", \"serial_fraction\": " << r.serialFraction() << "}"
+    for (size_t i = 0; i < rows.size(); ++i)
+        js << "    " << qosRowJson(rows[i], jobs_effective)
            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
     js << "  ]";
     if (!skip_hetero) {
-        auto run_json = [](const TimedRun &r) {
-            std::ostringstream os;
-            os << "\"ipc\": " << r.ipc
-               << ", \"wall_seconds\": " << r.wallSeconds
-               << ", \"events\": " << r.eventsExecuted
-               << ", \"events_per_sec\": " << r.eventsPerSec()
-               << ", \"timing_shards\": " << r.timingShards
-               << ", \"l2_bank_domains\": " << r.l2BankDomains
-               << ", \"cluster_phase_seconds\": "
-               << r.clusterPhaseSeconds
-               << ", \"shared_phase_seconds\": "
-               << r.sharedPhaseSeconds
-               << ", \"serial_fraction\": " << r.serialFraction();
-            return os.str();
-        };
         js << ",\n  \"heterogeneous\": {\n"
            << "    \"cores\": " << hetero_cores << ",\n"
            << "    \"batches\": " << hopt.batches << ",\n"
@@ -239,30 +229,13 @@ main(int argc, char **argv)
            << "    \"measure_records\": " << hopt.measureRecords
            << ",\n"
            << "    \"reference\": {"
-           << run_json(het.referenceRun) << "},\n"
+           << timedRunJson(het.referenceRun) << "},\n"
            << "    \"protected\": {"
-           << run_json(het.protectedRun) << "},\n"
+           << timedRunJson(het.protectedRun) << "},\n"
            << "    \"clusters\": [\n";
-        for (size_t i = 0; i < het.clusters.size(); ++i) {
-            const QosClusterRow &c = het.clusters[i];
-            js << "      {\"cluster\": \"" << c.cluster
-               << "\", \"mix\": \"" << c.mix
-               << "\", \"contract\": \"" << c.contract
-               << "\", \"btb_weight\": " << c.btbWeight
-               << ", \"aggressor_weight\": " << c.aggressorWeight
-               << ", \"cores\": " << c.cores
-               << ", \"avail_redirect_pct\": " << c.availRedirectPct
-               << ", \"ref_avail_redirect_pct\": "
-               << c.refAvailRedirectPct
-               << ", \"avail_improvement_pct\": "
-               << c.availImprovementPct
-               << ", \"btb_hit_pct\": " << c.btbHitPct
-               << ", \"btb_drop_pct\": " << c.btbDropPct
-               << ", \"ref_btb_drop_pct\": " << c.refBtbDropPct
-               << ", \"aggressor_drop_pct\": "
-               << c.aggressorDropPct << "}"
+        for (size_t i = 0; i < het.clusters.size(); ++i)
+            js << "      " << qosClusterRowJson(het.clusters[i])
                << (i + 1 < het.clusters.size() ? "," : "") << "\n";
-        }
         js << "    ]\n  }";
     }
     js << "\n}\n";

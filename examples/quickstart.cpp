@@ -5,16 +5,23 @@
  * design, and compare coverage, traffic, and dedicated storage.
  *
  * Usage:
- *   quickstart [--workload=oracle] [--refs=2000000]
- *              [--warmup=1000000] [--stats=<prefix>]
+ *   quickstart [--scenario=FILE] [--workload=oracle]
+ *              [--refs=2000000] [--warmup=1000000]
+ *              [--stats=<prefix>]
  *
- * With --stats, the full gem5-style statistics of each run are
- * written to "<prefix>.<config>.stats".
+ * The virtualized machine comes from a scenario file when one is
+ * given — or from scenarios/quickstart.json when that is found next
+ * to the working directory — and is hand-built from code otherwise;
+ * the dedicated-SMS and no-prefetch comparison points are derived
+ * from it. With --stats, the full gem5-style statistics of each run
+ * are written to "<prefix>.<config>.stats".
  */
 
 #include <fstream>
 #include <iostream>
 
+#include "config/scenario.hh"
+#include "harness/config_presets.hh"
 #include "harness/metrics.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
@@ -59,27 +66,55 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
-    std::string workload = args.getString("workload", "oracle");
+    std::string stats_file = args.getString("stats", "");
     uint64_t refs = args.getUint("refs", 2'000'000);
     uint64_t warmup = args.getUint("warmup", 1'000'000);
-    std::string stats_file = args.getString("stats", "");
+
+    // The virtualized machine, from a scenario file when available.
+    std::string scenario_file = args.getString("scenario", "");
+    if (scenario_file.empty()) {
+        for (const char *p : {"scenarios/quickstart.json",
+                              "../scenarios/quickstart.json"}) {
+            if (std::ifstream(p).good()) {
+                scenario_file = p;
+                break;
+            }
+        }
+    }
+    SystemConfig pv;
+    if (!scenario_file.empty()) {
+        Scenario s;
+        try {
+            s = loadScenarioFile(scenario_file);
+        } catch (const std::exception &e) {
+            std::cerr << "quickstart: " << e.what() << "\n";
+            return 2;
+        }
+        pv = s.system;
+        warmup = args.getUint("warmup", s.warmupRefs);
+        refs = args.getUint("refs", s.measureRefs);
+        std::cout << "pvsim quickstart: config from " << scenario_file
+                  << " (fingerprint "
+                  << config::fingerprintHex(scenarioFingerprint(s))
+                  << ")\n";
+    } else {
+        pv = pvConfig("oracle", 8);
+    }
+    if (args.has("workload"))
+        pv.workload = args.getString("workload", pv.workload);
+    const std::string workload = pv.workload;
 
     std::cout << "pvsim quickstart: workload '" << workload << "', "
               << warmup << " warmup + " << refs
               << " measured references per core\n\n";
 
-    SystemConfig base;
-    base.workload = workload;
+    // The comparison points derive from the same machine: dedicated
+    // SRAM of the matching geometry, and no prefetcher at all.
+    SystemConfig base = pv;
     base.prefetch = PrefetchMode::None;
 
-    SystemConfig sms = base;
+    SystemConfig sms = pv;
     sms.prefetch = PrefetchMode::SmsDedicated;
-    sms.phtGeometry = {1024, 11};
-
-    SystemConfig pv = base;
-    pv.prefetch = PrefetchMode::SmsVirtualized;
-    pv.phtGeometry = {1024, 11};
-    pv.pvCacheEntries = 8;
 
     RunResult r_base = run(base, warmup, refs, stats_file);
     RunResult r_sms = run(sms, warmup, refs, stats_file);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Declarative scenarios: a JSON file under scenarios/ is one
+ * experiment
+ * — a plain timed or functional run of a SystemConfig, or a whole
+ * fig9/qos/qos_hetero sweep — expressed as data and executed
+ * through the exact same harness entry points (timedRun, fig9Sweep,
+ * qosSweep, qosHeterogeneous) the compiled bench drivers use. The
+ * runner emits the same JSON row schema as the drivers
+ * (harness/row_json.hh), so a scenario's rows are byte-identical
+ * to the corresponding BENCH_*.json rows for the same options.
+ *
+ * Every field of every nested config is reflected
+ * (config/fields.hh): absent keys default, unknown keys are
+ * rejected with a full path, and the canonical serialization yields
+ * a stable fingerprint() recorded in scenarios/MANIFEST.json — a
+ * scenario edit without a manifest refresh fails the bench gate.
+ */
+
+#ifndef PVSIM_CONFIG_SCENARIO_HH
+#define PVSIM_CONFIG_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "config/fields.hh"
+
+namespace pvsim {
+
+/** One scenario file's contents. Only the section named by `kind`
+ *  is consulted at run time; the others stay at their defaults and
+ *  cost nothing. */
+struct Scenario {
+    std::string name;
+    /** "timed" | "functional" | "fig9" | "qos" | "qos_hetero". */
+    std::string kind = "timed";
+    /** Free-form description, carried into the result artifact. */
+    std::string notes;
+
+    // ---- timed / functional runs of `system` ----------------------
+    uint64_t warmupRecords = 20'000;   ///< per core, timed kind
+    uint64_t measureRecords = 60'000;  ///< per core, timed kind
+    uint64_t warmupRefs = 300'000;     ///< per core, functional kind
+    uint64_t measureRefs = 600'000;    ///< per core, functional kind
+    SystemConfig system;
+
+    // ---- sweep kinds ----------------------------------------------
+    Fig9Options fig9;
+    QosOptions qos; ///< qos and qos_hetero kinds
+
+    /** Valid scenario kinds, in documentation order. */
+    static const std::vector<std::string> &kinds();
+};
+
+template <class V>
+void
+reflectFields(Scenario &s, V &v)
+{
+    v.field("name", s.name);
+    v.field("kind", s.kind);
+    v.field("notes", s.notes);
+    v.field("warmup_records", s.warmupRecords);
+    v.field("measure_records", s.measureRecords);
+    v.field("warmup_refs", s.warmupRefs);
+    v.field("measure_refs", s.measureRefs);
+    v.field("system", s.system);
+    v.field("fig9", s.fig9);
+    v.field("qos", s.qos);
+}
+
+/** Strict parse (throws json::ConfigError; `label` prefixes error
+ *  paths — pass the file name). */
+Scenario parseScenario(const std::string &text,
+                       const std::string &label = "$");
+
+/** Read + parse + validate one scenario file. */
+Scenario loadScenarioFile(const std::string &path);
+
+/** Canonical byte-stable serialization. */
+std::string dumpScenario(const Scenario &s);
+
+/** Stable fingerprint of the canonical form. */
+uint64_t scenarioFingerprint(const Scenario &s);
+
+/**
+ * Structural validation beyond field types: known kind, nonempty
+ * name, nonzero budgets for the kind that runs, the qos_hetero
+ * cores%4 precondition. Throws json::ConfigError.
+ */
+void validateScenario(const Scenario &s);
+
+/**
+ * The largest simulated-core count the scenario instantiates — the
+ * knob CI smoke subsets filter on (`pvsim run --max-cores`).
+ */
+int scenarioCores(const Scenario &s);
+
+/**
+ * Expand a path into scenario files: a .json file yields itself; a
+ * directory yields its *.json entries sorted by name, minus
+ * MANIFEST.json. Throws json::ConfigError when nothing matches.
+ */
+std::vector<std::string> listScenarioFiles(const std::string &path);
+
+/**
+ * The sweep drivers' jobs_effective bookkeeping (one System per
+ * (mix, stability, side, batch) resp. (setting, batch) job),
+ * honoring the empty-means-presets convention — shared so a
+ * scenario row is byte-identical to the compiled driver's.
+ */
+unsigned fig9JobsEffective(const Fig9Options &opt);
+unsigned qosJobsEffective(const QosOptions &opt);
+
+/**
+ * Execute one scenario and return its complete result object
+ * (pretty JSON, no trailing newline): name, kind, fingerprint and
+ * a "rows" array in the matching BENCH_*.json row schema
+ * (qos_hetero additionally carries reference/protected summaries).
+ */
+std::string runScenarioJson(const Scenario &s,
+                            const std::string &file_label);
+
+} // namespace pvsim
+
+#endif // PVSIM_CONFIG_SCENARIO_HH

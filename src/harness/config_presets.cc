@@ -1,0 +1,63 @@
+#include "harness/config_presets.hh"
+
+#include "harness/system.hh"
+
+namespace pvsim {
+
+SystemConfig
+baselineConfig(const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.prefetch = PrefetchMode::None;
+    return cfg;
+}
+
+SystemConfig
+smsConfig(const std::string &workload, PhtGeometry geom)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsDedicated;
+    cfg.phtGeometry = geom;
+    return cfg;
+}
+
+SystemConfig
+smsInfiniteConfig(const std::string &workload)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsInfinite;
+    return cfg;
+}
+
+SystemConfig
+pvConfig(const std::string &workload, unsigned pvcache_entries)
+{
+    SystemConfig cfg = baselineConfig(workload);
+    cfg.prefetch = PrefetchMode::SmsVirtualized;
+    cfg.phtGeometry = {1024, 11}; // the paper virtualizes 1K-11a
+    cfg.pvCacheEntries = pvcache_entries;
+    return cfg;
+}
+
+FunctionalResult
+runFunctionalMeasured(SystemConfig cfg, uint64_t warmup_refs,
+                      uint64_t measure_refs)
+{
+    cfg.mode = SimMode::Functional;
+    System sys(cfg);
+    sys.runFunctional(warmup_refs);
+    sys.resetStats();
+    sys.runFunctional(measure_refs);
+
+    FunctionalResult r;
+    r.coverage = coverageOf(sys);
+    r.traffic = trafficOf(sys);
+    uint64_t pv_req = sys.l2().requestsPv.value();
+    uint64_t pv_miss = sys.l2().missesPv.value();
+    r.pvL2FillRate =
+        pv_req ? 1.0 - double(pv_miss) / double(pv_req) : 0.0;
+    return r;
+}
+
+} // namespace pvsim

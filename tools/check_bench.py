@@ -43,15 +43,26 @@ What is gated, and why these tolerances:
   breakdown (cluster vs shared-domain = measured serial fraction) is
   printed for every side as part of the summary.
 
+* scenarios (--pvsim + --scenarios): the committed scenario corpus
+  must pass `pvsim validate` (strict parse, unknown-key rejection,
+  round-trip stability) and every file's fingerprint must match the
+  committed scenarios/MANIFEST.json — a scenario edit without a
+  manifest refresh (or a serialization change that silently moves
+  canonical forms) fails the build. Regenerate with:
+      pvsim fingerprint scenarios --json > scenarios/MANIFEST.json
+
 Usage (CI runs this from build-release/):
   check_bench.py --baseline-dir ../tools/baselines \
       --fig9 BENCH_fig9.json --stepping BENCH_stepping.json \
-      --qos BENCH_qos.json
+      --qos BENCH_qos.json \
+      --pvsim ./pvsim --scenarios ../scenarios \
+      --scenario-manifest ../scenarios/MANIFEST.json
 Any artifact flag may be omitted to skip that gate.
 """
 
 import argparse
 import json
+import subprocess
 import sys
 
 
@@ -310,6 +321,49 @@ def check_qos(gate, current, baseline, hit_tol_pp):
             )
 
 
+def check_scenarios(gate, pvsim, scenarios_dir, manifest_path):
+    """Validate the scenario corpus and pin its fingerprints."""
+    res = subprocess.run(
+        [pvsim, "validate", scenarios_dir],
+        capture_output=True, text=True,
+    )
+    sys.stdout.write(res.stdout)
+    sys.stderr.write(res.stderr)
+    gate.check(
+        res.returncode == 0,
+        f"scenarios: `pvsim validate {scenarios_dir}` failed "
+        f"(exit {res.returncode})",
+    )
+
+    res = subprocess.run(
+        [pvsim, "fingerprint", scenarios_dir, "--json"],
+        capture_output=True, text=True,
+    )
+    gate.check(
+        res.returncode == 0,
+        f"scenarios: `pvsim fingerprint` failed "
+        f"(exit {res.returncode}): {res.stderr.strip()}",
+    )
+    if res.returncode != 0:
+        return
+    live = json.loads(res.stdout)
+    committed = load(manifest_path)
+    gate.check(
+        set(live) == set(committed),
+        f"scenarios: corpus/manifest file sets differ "
+        f"(only in corpus: {sorted(set(live) - set(committed))}, "
+        f"only in manifest: {sorted(set(committed) - set(live))}) "
+        f"— regenerate {manifest_path}",
+    )
+    for name in sorted(set(live) & set(committed)):
+        gate.check(
+            live[name] == committed[name],
+            f"scenarios: {name} fingerprint drift "
+            f"(manifest {committed[name]}, live {live[name]}) — "
+            f"regenerate {manifest_path}",
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -319,6 +373,14 @@ def main():
     ap.add_argument("--fig9", help="fresh BENCH_fig9.json")
     ap.add_argument("--stepping", help="fresh BENCH_stepping.json")
     ap.add_argument("--qos", help="fresh BENCH_qos.json")
+    ap.add_argument("--pvsim", help="path to the pvsim binary")
+    ap.add_argument(
+        "--scenarios", help="scenario corpus directory to validate"
+    )
+    ap.add_argument(
+        "--scenario-manifest",
+        help="committed fingerprint manifest (MANIFEST.json)",
+    )
     ap.add_argument(
         "--fig9-tol-pp", type=float, default=1.0,
         help="abs tolerance on fig9 speedup_pct (percentage points)",
@@ -355,6 +417,12 @@ def main():
         )
     if args.stepping:
         check_stepping(gate, load(args.stepping))
+    if args.pvsim and args.scenarios:
+        manifest = (
+            args.scenario_manifest
+            or f"{args.scenarios}/MANIFEST.json"
+        )
+        check_scenarios(gate, args.pvsim, args.scenarios, manifest)
     if args.qos:
         check_qos(
             gate, load(args.qos),
