@@ -25,10 +25,20 @@
  * larger core counts (128 by default; pass 128,256 for the full
  * scaling ladder).
  *
+ * The --dram-lanes/--overlap knobs shape the barrier work of the
+ * banked runs (see SystemConfig::dramLanes / drainOverlap; 0 is
+ * auto for both). The many-core section always runs its serial /
+ * sharded / banked triple with the legacy serial barrier
+ * (dram-lanes 1, overlap forced off) so the committed baselines
+ * keep their meaning, then adds a fourth fully-overlapped run
+ * (auto lanes, overlapped drains) gated bit-identical against the
+ * other three.
+ *
  *   fig9_sweep [--penalty N] [--btb-sets N] [--batches N]
  *              [--warmup-records N] [--measure-records N]
  *              [--cores N] [--edge-stability default,0.8,...]
  *              [--shards N] [--quantum N] [--bank-domains N]
+ *              [--dram-lanes N] [--overlap N]
  *              [--skip-many-core] [--many-core-cores N]
  *              [--many-core-records N] [--scale-cores N,N,...]
  *              [--json-out FILE] [--csv] [--smoke]
@@ -59,6 +69,8 @@ namespace {
 struct ManyCoreRun {
     unsigned shards = 1;      ///< effective shard count
     unsigned bankDomains = 1; ///< effective L2 bank domains
+    unsigned dramLanes = 1;   ///< effective DRAM lanes
+    bool drainOverlap = false; ///< overlapped drains engaged
     double ipc = 0.0;
     double wallSeconds = 0.0;
     double clusterPhase = 0.0; ///< parallel cluster-phase seconds
@@ -92,6 +104,7 @@ struct ManyCoreRun {
  */
 ManyCoreRun
 manyCoreRun(unsigned cores, unsigned shards, unsigned bank_domains,
+            unsigned dram_lanes, unsigned drain_overlap,
             uint64_t records)
 {
     SystemConfig cfg;
@@ -101,11 +114,15 @@ manyCoreRun(unsigned cores, unsigned shards, unsigned bank_domains,
     cfg.timingShards = shards;
     cfg.syncQuantum = cfg.l2DataLatency;
     cfg.l2BankDomains = bank_domains;
+    cfg.dramLanes = dram_lanes;
+    cfg.drainOverlap = drain_overlap;
     System sys(cfg);
 
     ManyCoreRun r;
     r.shards = sys.timingShardsEffective();
     r.bankDomains = sys.l2BankDomainsEffective();
+    r.dramLanes = sys.dramLanesEffective();
+    r.drainOverlap = sys.drainOverlapEffective();
     auto t0 = std::chrono::steady_clock::now();
     Tick finish = sys.runTiming(records);
     std::chrono::duration<double> wall =
@@ -128,6 +145,9 @@ manyCoreRunJson(const ManyCoreRun &r)
     std::ostringstream os;
     os << "\"shards\": " << r.shards
        << ", \"bank_domains\": " << r.bankDomains
+       << ", \"dram_lanes\": " << r.dramLanes
+       << ", \"drain_overlap\": "
+       << (r.drainOverlap ? "true" : "false")
        << ", \"ipc\": " << r.ipc
        << ", \"wall_seconds\": " << r.wallSeconds
        << ", \"events\": " << r.events
@@ -146,6 +166,8 @@ printManyCoreRun(const std::string &label, const ManyCoreRun &r)
               << ", " << r.events << " events ("
               << fmtEventsPerSec(r.eventsPerSec()) << "), shards="
               << r.shards << ", bank_domains=" << r.bankDomains
+              << ", dram_lanes=" << r.dramLanes
+              << ", overlap=" << (r.drainOverlap ? "on" : "off")
               << ", serial_fraction="
               << fmtDouble(100.0 * r.serialFraction(), 1) << "%\n";
 }
@@ -200,6 +222,10 @@ main(int argc, char **argv)
             Cycles(args.getUint("quantum", opt.syncQuantum));
         opt.l2BankDomains = unsigned(
             args.getUint("bank-domains", opt.l2BankDomains));
+        opt.dramLanes =
+            unsigned(args.getUint("dram-lanes", opt.dramLanes));
+        opt.drainOverlap =
+            unsigned(args.getUint("overlap", opt.drainOverlap));
     }
     const bool skip_many_core =
         args.getBool("skip-many-core", !scenario_file.empty());
@@ -293,7 +319,7 @@ main(int argc, char **argv)
         t.print(std::cout);
 
     // ---- Many-core scaling: serial vs sharded-only vs
-    // sharded+banked, all bit-identical.
+    // sharded+banked vs fully-overlapped, all bit-identical.
     const unsigned host_cores =
         std::max(1u, std::thread::hardware_concurrency());
     // At least 4 shards / 4 bank domains even on small hosts:
@@ -304,10 +330,12 @@ main(int argc, char **argv)
         many_core_cores, std::max(4u, jobs_requested));
     const unsigned mc_banks = std::max(4u, std::min(8u,
         jobs_requested));
-    ManyCoreRun mc_serial, mc_sharded, mc_banked;
+    ManyCoreRun mc_serial, mc_sharded, mc_banked, mc_overlap;
     bool mc_identical = false;
     double mc_speedup = 0.0, mc_banked_speedup = 0.0;
     double mc_banked_over_sharded = 0.0;
+    double mc_overlap_speedup = 0.0;
+    double mc_overlap_over_banked = 0.0;
     struct ScaleRow {
         unsigned cores = 0;
         ManyCoreRun sharded, banked;
@@ -320,16 +348,26 @@ main(int argc, char **argv)
                   << " cores, " << many_core_records
                   << " records/core, host_cores=" << host_cores
                   << "\n";
-        mc_serial = manyCoreRun(many_core_cores, 1, 1,
+        // The serial/sharded/banked triple pins the legacy serial
+        // barrier (dram-lanes 1, overlap forced off) so its
+        // serial-fraction numbers stay comparable with the committed
+        // baselines; the fourth run engages the full overlapped
+        // barrier (auto lanes, overlapped drains) and must stay
+        // bit-identical to the other three.
+        mc_serial = manyCoreRun(many_core_cores, 1, 1, 1, 1,
                                 many_core_records);
         mc_sharded = manyCoreRun(many_core_cores, mc_shards, 1,
-                                 many_core_records);
+                                 1, 1, many_core_records);
         mc_banked = manyCoreRun(many_core_cores, mc_shards,
-                                mc_banks, many_core_records);
+                                mc_banks, 1, 1, many_core_records);
+        mc_overlap = manyCoreRun(many_core_cores, mc_shards,
+                                 mc_banks, 0, 0, many_core_records);
         mc_identical = mc_serial.stats == mc_sharded.stats &&
                        mc_sharded.stats == mc_banked.stats &&
+                       mc_banked.stats == mc_overlap.stats &&
                        mc_serial.ipc == mc_sharded.ipc &&
-                       mc_sharded.ipc == mc_banked.ipc;
+                       mc_sharded.ipc == mc_banked.ipc &&
+                       mc_banked.ipc == mc_overlap.ipc;
         mc_speedup = mc_sharded.wallSeconds > 0.0
                          ? mc_serial.wallSeconds /
                                mc_sharded.wallSeconds
@@ -342,29 +380,44 @@ main(int argc, char **argv)
             mc_banked.wallSeconds > 0.0
                 ? mc_sharded.wallSeconds / mc_banked.wallSeconds
                 : 0.0;
+        mc_overlap_speedup =
+            mc_overlap.wallSeconds > 0.0
+                ? mc_serial.wallSeconds / mc_overlap.wallSeconds
+                : 0.0;
+        mc_overlap_over_banked =
+            mc_overlap.wallSeconds > 0.0
+                ? mc_banked.wallSeconds / mc_overlap.wallSeconds
+                : 0.0;
         printManyCoreRun("  serial ", mc_serial);
         printManyCoreRun("  sharded", mc_sharded);
         printManyCoreRun("  banked ", mc_banked);
+        printManyCoreRun("  overlap", mc_overlap);
         std::cout << "  bit-identical stats: "
                   << (mc_identical ? "yes" : "NO") << ", speedup "
                   << fmtDouble(mc_speedup, 2) << "x sharded, "
                   << fmtDouble(mc_banked_speedup, 2)
                   << "x sharded+banked ("
                   << fmtDouble(mc_banked_over_sharded, 2)
-                  << "x over sharded-only)\n";
+                  << "x over sharded-only), "
+                  << fmtDouble(mc_overlap_speedup, 2)
+                  << "x overlapped ("
+                  << fmtDouble(mc_overlap_over_banked, 2)
+                  << "x over banked)\n";
 
         // Scaling ladder: the serial reference is dropped (it costs
         // cores/shards times the sharded run) — determinism at each
-        // rung is sharded-vs-banked.
+        // rung is sharded-legacy vs banked-full-parallel, so the
+        // overlapped barrier is also identity-checked at every core
+        // count above the gated triple.
         for (unsigned cores : scale_cores) {
             ScaleRow row;
             row.cores = cores;
             const unsigned shards =
                 std::min(cores, std::max(4u, jobs_requested));
-            row.sharded = manyCoreRun(cores, shards, 1,
+            row.sharded = manyCoreRun(cores, shards, 1, 1, 1,
                                       many_core_records);
             row.banked = manyCoreRun(cores, shards, mc_banks,
-                                     many_core_records);
+                                     0, 0, many_core_records);
             row.identical =
                 row.sharded.stats == row.banked.stats &&
                 row.sharded.ipc == row.banked.ipc;
@@ -420,11 +473,17 @@ main(int argc, char **argv)
            << ",\n"
            << "    \"banked_over_sharded\": "
            << mc_banked_over_sharded << ",\n"
+           << "    \"overlap_speedup\": " << mc_overlap_speedup
+           << ",\n"
+           << "    \"overlap_over_banked\": "
+           << mc_overlap_over_banked << ",\n"
            << "    \"serial\": {" << manyCoreRunJson(mc_serial)
            << "},\n"
            << "    \"sharded\": {" << manyCoreRunJson(mc_sharded)
            << "},\n"
            << "    \"banked\": {" << manyCoreRunJson(mc_banked)
+           << "},\n"
+           << "    \"overlapped\": {" << manyCoreRunJson(mc_overlap)
            << "}\n  },\n"
            << "  \"many_core_scale\": [\n";
         for (size_t i = 0; i < scale_rows.size(); ++i) {
@@ -482,9 +541,9 @@ main(int argc, char **argv)
     // quantum, different shard and bank-domain counts, bit-identical
     // statistics.
     if (!skip_many_core && !mc_identical) {
-        std::cerr << "FAIL: many-core sharded/banked runs diverged "
-                     "from the serial reference (stats dumps "
-                     "differ)\n";
+        std::cerr << "FAIL: many-core sharded/banked/overlapped "
+                     "runs diverged from the serial reference "
+                     "(stats dumps differ)\n";
         return 1;
     }
     for (const ScaleRow &r : scale_rows) {

@@ -28,6 +28,7 @@
  *                  [--pvcache N] [--batches N] [--cores N]
  *                  [--warmup-records N] [--measure-records N]
  *                  [--shards N] [--quantum N] [--bank-domains N]
+ *                  [--dram-lanes N] [--overlap N]
  *                  [--hetero-cores N] [--hetero-batches N]
  *                  [--hetero-warmup N] [--hetero-measure N]
  *                  [--skip-hetero]
@@ -99,6 +100,10 @@ main(int argc, char **argv)
             Cycles(args.getUint("quantum", opt.syncQuantum));
         opt.l2BankDomains = unsigned(
             args.getUint("bank-domains", opt.l2BankDomains));
+        opt.dramLanes =
+            unsigned(args.getUint("dram-lanes", opt.dramLanes));
+        opt.drainOverlap =
+            unsigned(args.getUint("overlap", opt.drainOverlap));
     }
     const bool skip_hetero =
         args.getBool("skip-hetero", !scenario_file.empty());

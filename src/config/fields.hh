@@ -246,6 +246,8 @@ reflectFields(SystemConfig &c, V &v)
     v.field("timing_shards", c.timingShards);
     v.field("sync_quantum", c.syncQuantum);
     v.field("l2_bank_domains", c.l2BankDomains);
+    v.field("dram_lanes", c.dramLanes);
+    v.field("drain_overlap", c.drainOverlap);
 }
 
 // ---- Sweep option bundles (harness/metrics.hh) ------------------------
@@ -266,6 +268,8 @@ reflectFields(Fig9Options &c, V &v)
     v.field("timing_shards", c.timingShards);
     v.field("sync_quantum", c.syncQuantum);
     v.field("l2_bank_domains", c.l2BankDomains);
+    v.field("dram_lanes", c.dramLanes);
+    v.field("drain_overlap", c.drainOverlap);
 }
 
 template <class V>
@@ -323,6 +327,8 @@ reflectFields(QosOptions &c, V &v)
     v.field("timing_shards", c.timingShards);
     v.field("sync_quantum", c.syncQuantum);
     v.field("l2_bank_domains", c.l2BankDomains);
+    v.field("dram_lanes", c.dramLanes);
+    v.field("drain_overlap", c.drainOverlap);
 }
 
 } // namespace pvsim

@@ -169,6 +169,8 @@ runMeasured(System &sys, uint64_t warmup_records,
     r.eventsExecuted = sys.eventsExecuted() - events_before;
     r.timingShards = sys.timingShardsEffective();
     r.l2BankDomains = sys.l2BankDomainsEffective();
+    r.dramLanes = sys.dramLanesEffective();
+    r.drainOverlap = sys.drainOverlapEffective();
     // resetStats() zeroed the phase timers at the measure boundary,
     // so these are measure-phase-only.
     r.clusterPhaseSeconds = sys.clusterPhaseSeconds();
@@ -300,6 +302,8 @@ fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
     cfg.l2BankDomains = opt.l2BankDomains;
+    cfg.dramLanes = opt.dramLanes;
+    cfg.drainOverlap = opt.drainOverlap;
     return cfg;
 }
 
@@ -354,6 +358,8 @@ fig9Sweep(const Fig9Options &opt)
             TimedRun ded_all, virt_all;
             row.timingShards = ded[0].timingShards;
             row.l2BankDomains = ded[0].l2BankDomains;
+            row.dramLanes = ded[0].dramLanes;
+            row.drainOverlap = ded[0].drainOverlap;
             for (unsigned b = 0; b < batches; ++b) {
                 ded_sum += ded[b].ipc;
                 virt_sum += virt[b].ipc;
@@ -464,6 +470,8 @@ qosConfig(const QosOptions &opt, const QosSetting &s)
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
     cfg.l2BankDomains = opt.l2BankDomains;
+    cfg.dramLanes = opt.dramLanes;
+    cfg.drainOverlap = opt.drainOverlap;
     return cfg;
 }
 
@@ -541,6 +549,8 @@ qosSweep(const QosOptions &opt)
         std::vector<double> delta(batches, 0.0);
         row.timingShards = mine[0].timed.timingShards;
         row.l2BankDomains = mine[0].timed.l2BankDomains;
+        row.dramLanes = mine[0].timed.dramLanes;
+        row.drainOverlap = mine[0].timed.drainOverlap;
         for (unsigned b = 0; b < batches; ++b) {
             ipc_sum += mine[b].timed.ipc;
             row.wallSeconds += mine[b].timed.wallSeconds;
@@ -756,6 +766,8 @@ qosHeterogeneous(const QosOptions &opt)
         into.sharedPhaseSeconds += from.sharedPhaseSeconds;
         into.timingShards = from.timingShards;
         into.l2BankDomains = from.l2BankDomains;
+        into.dramLanes = from.dramLanes;
+        into.drainOverlap = from.drainOverlap;
     };
     auto merge = [](std::array<HetGroup, 4> &into,
                     const std::array<HetGroup, 4> &from) {

@@ -125,6 +125,10 @@ struct TimedRun {
     unsigned timingShards = 1;
     /** L2 bank domains the run actually scheduled (1 = serial). */
     unsigned l2BankDomains = 1;
+    /** DRAM lanes the run actually used (1 = monolithic tail). */
+    unsigned dramLanes = 1;
+    /** Whether the overlapped boundary drain was engaged. */
+    bool drainOverlap = false;
     /** Wall seconds of the parallel cluster phase (sharded path). */
     double clusterPhaseSeconds = 0.0;
     /** Wall seconds of the shared-domain phase: lane drains, bank
@@ -258,6 +262,10 @@ struct Fig9Options {
     Cycles syncQuantum = 0;
     /** L2 bank domains when sharded (0 = auto, clamped to banks). */
     unsigned l2BankDomains = 0;
+    /** DRAM lanes when sharded (0 = auto, 1 = monolithic tail). */
+    unsigned dramLanes = 0;
+    /** Overlapped drains (0 = auto, 1 = off, 2 = on). */
+    unsigned drainOverlap = 0;
 };
 
 /** One (mix, stability) matched-pair outcome. */
@@ -282,6 +290,10 @@ struct Fig9Row {
     unsigned timingShards = 1;
     /** L2 bank domains the row's Systems scheduled (1 = serial). */
     unsigned l2BankDomains = 1;
+    /** DRAM lanes the row's Systems used (1 = monolithic tail). */
+    unsigned dramLanes = 1;
+    /** Whether the overlapped boundary drain was engaged. */
+    bool drainOverlap = false;
     /** Per-phase wall clock summed over the row's measure phases
      *  (sharded path only; both stay 0 on the serial loop). */
     double clusterPhaseSeconds = 0.0;
@@ -377,6 +389,10 @@ struct QosOptions {
     Cycles syncQuantum = 0;
     /** L2 bank domains when sharded (0 = auto, clamped to banks). */
     unsigned l2BankDomains = 0;
+    /** DRAM lanes when sharded (0 = auto, 1 = monolithic tail). */
+    unsigned dramLanes = 0;
+    /** Overlapped drains (0 = auto, 1 = off, 2 = on). */
+    unsigned drainOverlap = 0;
 };
 
 /** One setting's outcome (batch-aggregated; deltas are matched-seed
@@ -406,6 +422,10 @@ struct QosRow {
     unsigned timingShards = 1;
     /** L2 bank domains the setting's Systems scheduled. */
     unsigned l2BankDomains = 1;
+    /** DRAM lanes the setting's Systems used (1 = monolithic). */
+    unsigned dramLanes = 1;
+    /** Whether the overlapped boundary drain was engaged. */
+    bool drainOverlap = false;
     /** Per-phase wall clock summed over the setting's measure
      *  phases (sharded path only). */
     double clusterPhaseSeconds = 0.0;

@@ -14,6 +14,8 @@ timedRunJson(const TimedRun &r)
        << ", \"events_per_sec\": " << r.eventsPerSec()
        << ", \"timing_shards\": " << r.timingShards
        << ", \"l2_bank_domains\": " << r.l2BankDomains
+       << ", \"dram_lanes\": " << r.dramLanes
+       << ", \"drain_overlap\": " << (r.drainOverlap ? "true" : "false")
        << ", \"cluster_phase_seconds\": " << r.clusterPhaseSeconds
        << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
        << ", \"serial_fraction\": " << r.serialFraction();
@@ -38,6 +40,8 @@ fig9RowJson(const Fig9Row &r, unsigned jobs_effective)
        << ", \"jobs_effective\": " << jobs_effective
        << ", \"timing_shards\": " << r.timingShards
        << ", \"l2_bank_domains\": " << r.l2BankDomains
+       << ", \"dram_lanes\": " << r.dramLanes
+       << ", \"drain_overlap\": " << (r.drainOverlap ? "true" : "false")
        << ", \"cluster_phase_seconds\": " << r.clusterPhaseSeconds
        << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
        << ", \"serial_fraction\": " << r.serialFraction() << "}";
@@ -65,6 +69,8 @@ qosRowJson(const QosRow &r, unsigned jobs_effective)
        << ", \"jobs_effective\": " << jobs_effective
        << ", \"timing_shards\": " << r.timingShards
        << ", \"l2_bank_domains\": " << r.l2BankDomains
+       << ", \"dram_lanes\": " << r.dramLanes
+       << ", \"drain_overlap\": " << (r.drainOverlap ? "true" : "false")
        << ", \"cluster_phase_seconds\": " << r.clusterPhaseSeconds
        << ", \"shared_phase_seconds\": " << r.sharedPhaseSeconds
        << ", \"serial_fraction\": " << r.serialFraction() << "}";

@@ -171,6 +171,48 @@ System::System(const SystemConfig &cfg)
         l2_->setResponseRouter(
             [this](Addr a) { return &bankQueueOf(a); });
         l2_->enableBankPartition();
+
+        // DRAM lanes: with more than one lane the DRAM backing
+        // store is partitioned per bank and service runs on the
+        // bank workers (Dram::serviceSharded): the fills land at
+        // their due (tick, response-priority) slot in the owning
+        // bank's domain queue — the exact slot the serial tail's
+        // responseRouter_ would have used — and only the
+        // channel-reservation walk stays on the main thread. One
+        // lane keeps the monolithic serial DRAM tail.
+        unsigned want_l = cfg_.dramLanes == 0 ? cfg_.l2Banks
+                                              : cfg_.dramLanes;
+        dramLanesEffective_ =
+            std::max(1u, std::min(want_l, cfg_.l2Banks));
+        if (dramLanesEffective_ > 1)
+            dram_->enableBankStores(cfg_.l2Banks, bank_of);
+
+        // Overlapped drains: the boundary lanes double-buffer and
+        // the barrier's serial flush loops fan out to the window
+        // prologues — each cluster worker replays its own egress
+        // share, each bank worker drains its own domain's staged
+        // packets. Per-queue insertion orders are exactly those of
+        // the serial flushes, so results are bit-identical.
+        overlapEffective_ = cfg_.drainOverlap == 0
+                                ? dramLanesEffective_ > 1
+                                : cfg_.drainOverlap >= 2;
+        if (overlapEffective_) {
+            shards_->setWindowPrologue(
+                [this](unsigned, EventQueue &q) {
+                    bankEgress_->flushCluster(&q);
+                });
+            bankShards_->setWindowPrologue(
+                [this](unsigned dom, EventQueue &q) {
+                    std::function<EventQueue *(Addr)> mine =
+                        [this, dom, &q](Addr a) -> EventQueue * {
+                        return bankDomain_[l2_->bankOf(a)] == dom
+                                   ? &q
+                                   : nullptr;
+                    };
+                    for (auto &b : downBoundaries_)
+                        b->drainStaged(mine);
+                });
+        }
     }
 
     // In sharded timing, every private-component-to-L2 link goes
@@ -490,18 +532,31 @@ System::runTimingSharded(uint64_t records_per_core)
     }
 
     // Conservative rounds: clusters run the window in parallel
-    // first; the barrier then drains the boundary lanes straight
-    // into the owning bank's queue, the bank workers run the L2
-    // over the same window in parallel, and the main thread flushes
-    // the bank egress lanes (responses into cluster queues, in bank
-    // order), the stat deferrals, and the DRAM lanes before running
-    // the DRAM window on the base queue. Responses crossing a
-    // domain carry at least the L2 data latency (>= the quantum) —
-    // cluster-bound — or the DRAM latency — bank-bound — so they
-    // are always due in a later window, never behind any clock.
+    // first; the bank workers then run the L2 over the same window,
+    // and the DRAM traffic is replayed in canonical order before
+    // the next round. Responses crossing a domain carry at least
+    // the L2 data latency (>= the quantum) — cluster-bound — or the
+    // DRAM latency — bank-bound — so they are always due in a later
+    // window, never behind any clock. Three knobs shape the barrier
+    // work without changing any delivery tick or per-queue order:
+    //
+    //  - serial (dramLanes=1, overlap off): lanes drain on the main
+    //    thread, the DRAM window runs on the base queue — the
+    //    historical loop, preserved bit for bit.
+    //  - in-phase DRAM (dramLanes>1): the main thread only walks
+    //    the DRAM lanes in canonical (tick, bank, order) sequence
+    //    reserving channel slots; service lands as events in the
+    //    owning bank's queue and runs on the worker pool.
+    //  - overlap: the boundary lanes double-buffer and the serial
+    //    flush loops fan out to the window prologues (each cluster
+    //    flushes its own egress share, each bank domain drains its
+    //    own staged packets); the main thread flushes the stat
+    //    deferrals concurrently with the cluster phase.
     const auto route = [this](Addr a) -> EventQueue & {
         return bankQueueOf(a);
     };
+    const bool in_phase_dram = dramLanesEffective_ > 1;
+    const bool overlap = overlapEffective_;
     using SteadyClock = std::chrono::steady_clock;
     const auto seconds_between = [](SteadyClock::time_point a,
                                     SteadyClock::time_point b) {
@@ -514,8 +569,16 @@ System::runTimingSharded(uint64_t records_per_core)
                                  bankShards_->minPendingTick());
         if (!shared.empty())
             min_next = std::min(min_next, shared.nextTick());
+        if (overlap) {
+            // Parked egress records are not in any queue yet; their
+            // delivery ticks (a response's due tick; the current
+            // edge for deferred coherence) bound the fast-forward
+            // exactly as the flushed events would have.
+            min_next = std::min(min_next,
+                                bankEgress_->minPendingTick(window));
+        }
         if (min_next == kMaxTick)
-            break; // every queue drained
+            break; // every queue and lane drained
         if (min_next >= window + quantum) {
             // Fast-forward over empty windows (DRAM-bound phases
             // would otherwise spin dozens of silent barriers per
@@ -524,19 +587,53 @@ System::runTimingSharded(uint64_t records_per_core)
         }
         const Tick window_end = window + quantum;
         const auto t0 = SteadyClock::now();
-        shards_->runWindow(window_end);
+        if (overlap) {
+            // Cluster prologues flush last window's egress records;
+            // the deferral flush (stats only, touching nothing any
+            // cluster owns) overlaps with the window.
+            shards_->runWindowAsync(window_end);
+            for (auto &d : bankDeferrals_)
+                d.flush();
+            shards_->wait();
+        } else {
+            shards_->runWindow(window_end);
+        }
         const auto t1 = SteadyClock::now();
         clusterPhaseSeconds_ += seconds_between(t0, t1);
-        for (auto &b : downBoundaries_)
-            b->drainBanked(route);
-        bankShards_->runWindow(window_end);
-        bankEgress_->flush();
-        for (auto &d : bankDeferrals_)
-            d.flush();
-        dramRouter_->drainTo(shared);
-        shared.runUntil(window_end - 1);
-        if (shared.curTick() < window_end)
-            shared.setCurTick(window_end);
+        if (overlap) {
+            bankEgress_->clearAll();
+            for (auto &b : downBoundaries_)
+                b->swapLanes();
+            bankShards_->runWindow(window_end); // prologues drain
+            for (auto &b : downBoundaries_)
+                b->clearStaged();
+        } else {
+            for (auto &b : downBoundaries_)
+                b->drainBanked(route);
+            bankShards_->runWindow(window_end);
+            bankEgress_->flush();
+            for (auto &d : bankDeferrals_)
+                d.flush();
+        }
+        if (in_phase_dram) {
+            dramRouter_->drainSharded(
+                [this](Tick when, PacketPtr pkt) {
+                    dram_->serviceSharded(when, pkt,
+                                          bankQueueOf(pkt->addr));
+                });
+            // Nothing targets the base queue on this path (fills
+            // land in the bank queues), but drain it defensively so
+            // a stray event can never stall the fast-forward.
+            if (!shared.empty())
+                shared.runUntil(window_end - 1);
+            if (shared.curTick() < window_end)
+                shared.setCurTick(window_end);
+        } else {
+            dramRouter_->drainTo(shared);
+            shared.runUntil(window_end - 1);
+            if (shared.curTick() < window_end)
+                shared.setCurTick(window_end);
+        }
         sharedPhaseSeconds_ += seconds_between(t1, SteadyClock::now());
         if (last_finish == 0) {
             bool all_done = true;
@@ -550,6 +647,11 @@ System::runTimingSharded(uint64_t records_per_core)
             // Keep draining in-flight prefetches and writebacks.
         }
         window = window_end;
+    }
+    if (overlap) {
+        // Residual deferred stats of the final bank window.
+        for (auto &d : bankDeferrals_)
+            d.flush();
     }
     for (auto &core : cores_) {
         pv_assert(core->done(),

@@ -129,6 +129,15 @@ class System
         return bankDomainsEffective_;
     }
 
+    /** DRAM lanes actually used (1 = the monolithic serial DRAM
+     *  tail; > 1 = per-bank stores with service inside the banked
+     *  shared phase). */
+    unsigned dramLanesEffective() const { return dramLanesEffective_; }
+
+    /** True when the overlapped boundary drain is engaged (lane
+     *  double-buffering + prologue-fanned drains). */
+    bool drainOverlapEffective() const { return overlapEffective_; }
+
     /** Wall-clock seconds spent in the parallel cluster phase of
      *  runTiming (sharded path only; 0 otherwise). */
     double clusterPhaseSeconds() const { return clusterPhaseSeconds_; }
@@ -240,6 +249,10 @@ class System
     /** One stat deferral per bank-domain worker thread. */
     std::vector<stats::Deferral> bankDeferrals_;
     unsigned bankDomainsEffective_ = 1;
+    /** DRAM lanes (in-phase DRAM service when > 1). */
+    unsigned dramLanesEffective_ = 1;
+    /** Overlapped drain pipeline engaged. */
+    bool overlapEffective_ = false;
     double clusterPhaseSeconds_ = 0.0;
     double sharedPhaseSeconds_ = 0.0;
 };

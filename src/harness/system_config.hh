@@ -245,6 +245,31 @@ struct SystemConfig {
      * are bit-identical for every domain count >= 1.
      */
     unsigned l2BankDomains = 0;
+    /**
+     * DRAM lanes in sharded timing: how the DRAM path is split by
+     * the L2 bank map. 0 (auto) gives one lane per L2 bank; with
+     * more than one lane the DRAM backing store is partitioned per
+     * bank and service runs inside the banked shared phase on the
+     * bank-domain workers — only the channel reservation walk stays
+     * serial. 1 keeps the monolithic serial DRAM tail (the pre-lane
+     * code path, bit-identical to it by construction); any other
+     * value is clamped to [1, l2Banks]. With a fixed quantum,
+     * results are bit-identical for every lane count.
+     */
+    unsigned dramLanes = 0;
+    /**
+     * Overlapped boundary drains in sharded timing: 0 (auto)
+     * overlaps whenever the DRAM lanes are engaged (dramLanes
+     * effective > 1), 1 forces the serial barrier drains, 2 forces
+     * the overlap. When on, each boundary keeps an active/staging
+     * lane pair swapped at the barrier; the window prologues fan
+     * the egress flush out to the cluster workers and the staged
+     * drain out to the bank workers, and the main thread flushes
+     * stat deferrals concurrently with the cluster phase. Delivery
+     * ticks and per-queue orders are unchanged, so results are
+     * bit-identical either way.
+     */
+    unsigned drainOverlap = 0;
 
     /** Short label for reports, e.g. "SMS-1K" or "SMS-PV8". */
     std::string label() const;

@@ -44,6 +44,7 @@
 #ifndef PVSIM_MEM_BOUNDARY_PORT_HH
 #define PVSIM_MEM_BOUNDARY_PORT_HH
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <utility>
@@ -52,6 +53,7 @@
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/event_queue.hh"
+#include "util/logging.hh"
 
 namespace pvsim {
 
@@ -110,6 +112,10 @@ class UpstreamBoundary : public MemClient
     /** Zero-lookahead coherence messages pushed to the quantum
      *  edge (expected and bounded by the quantum). */
     uint64_t deferredCoherence() const { return deferredCoherence_; }
+
+    /** The cluster queue this boundary delivers into (egress
+     *  records are matched against it in the overlapped drain). */
+    const EventQueue *clusterQueue() const { return clusterEq_; }
 
   private:
     friend class BankEgress;
@@ -211,21 +217,61 @@ class BankEgress
     flush()
     {
         for (auto &lane : lanes_) {
-            for (const Record &r : lane) {
-                switch (r.kind) {
-                  case Record::Response:
-                    r.up->deliverResponseAt(r.at, r.pkt);
-                    break;
-                  case Record::Invalidate:
-                    r.up->deliverInvalidate(r.addr);
-                    break;
-                  case Record::Downgrade:
-                    r.up->deliverDowngrade(r.addr);
-                    break;
-                }
-            }
+            for (const Record &r : lane)
+                deliver(r);
             lane.clear();
         }
+    }
+
+    /**
+     * Overlapped-drain variant: deliver only the records bound for
+     * one cluster queue, in the same ascending (bank, record-order)
+     * sequence flush() would give them. Each cluster worker calls
+     * this for its own queue as the window prologue — the lanes are
+     * scanned concurrently but read-only, and every delivery
+     * touches only the caller's queue and its own boundaries'
+     * counters. The lanes stay intact; the main thread clearAll()s
+     * once every worker passed the barrier.
+     */
+    void
+    flushCluster(const EventQueue *cluster_eq) const
+    {
+        for (const auto &lane : lanes_) {
+            for (const Record &r : lane) {
+                if (r.up->clusterQueue() == cluster_eq)
+                    deliver(r);
+            }
+        }
+    }
+
+    /** Drop all records (after every cluster flushed its share). */
+    void
+    clearAll()
+    {
+        for (auto &lane : lanes_)
+            lane.clear();
+    }
+
+    /**
+     * Lower bound on the next delivery across parked records, for
+     * the driver's fast-forward decision: a response's due tick is
+     * known exactly; invalidations and downgrades deliver at the
+     * flushing cluster's current quantum edge, so they pin the
+     * bound to `edge` — exactly where the serial flush would have
+     * scheduled them. kMaxTick when no records are parked.
+     */
+    Tick
+    minPendingTick(Tick edge) const
+    {
+        Tick best = kMaxTick;
+        for (const auto &lane : lanes_) {
+            for (const Record &r : lane) {
+                best = std::min(best, r.kind == Record::Response
+                                          ? r.at
+                                          : edge);
+            }
+        }
+        return best;
     }
 
   private:
@@ -236,6 +282,22 @@ class BankEgress
         PacketPtr pkt;
         Addr addr;
     };
+
+    static void
+    deliver(const Record &r)
+    {
+        switch (r.kind) {
+          case Record::Response:
+            r.up->deliverResponseAt(r.at, r.pkt);
+            break;
+          case Record::Invalidate:
+            r.up->deliverInvalidate(r.addr);
+            break;
+          case Record::Downgrade:
+            r.up->deliverDowngrade(r.addr);
+            break;
+        }
+    }
 
     std::function<unsigned(Addr)> bankOf_;
     std::vector<std::vector<Record>> lanes_;
@@ -288,10 +350,15 @@ class DownstreamBoundary : public MemDevice
     {
         // Responses must route back through the boundary pair so
         // they land in this cluster's queue. Writebacks and clean
-        // evicts carry no source and are consumed below.
+        // evicts carry no source and are consumed below. The address
+        // is copied out here, while this thread still owns the
+        // packet: the overlapped drain routes by address from every
+        // bank worker concurrently, and a packet delivered by its
+        // owning domain may already be freed by the time another
+        // domain's filter would have dereferenced it.
         if (pkt->src)
             pkt->src = pair_;
-        lane_.emplace_back(clusterEq_->curTick(), pkt);
+        lane_.push_back(Parked{clusterEq_->curTick(), pkt->addr, pkt});
         return true;
     }
 
@@ -309,9 +376,9 @@ class DownstreamBoundary : public MemDevice
     void
     drainTo(EventQueue &shared_eq)
     {
-        for (auto &[when, pkt] : lane_)
-            shared_eq.schedule(when, LaneInject{lower_, pkt,
-                                                &shared_eq});
+        for (const Parked &p : lane_)
+            shared_eq.schedule(p.when, LaneInject{lower_, p.pkt,
+                                                  &shared_eq});
         lane_.clear();
     }
 
@@ -326,21 +393,73 @@ class DownstreamBoundary : public MemDevice
     void
     drainBanked(const std::function<EventQueue &(Addr)> &queue_of)
     {
-        for (auto &[when, pkt] : lane_) {
-            EventQueue &eq = queue_of(pkt->addr);
-            eq.schedule(when, LaneInject{lower_, pkt, &eq});
+        for (const Parked &p : lane_) {
+            EventQueue &eq = queue_of(p.addr);
+            eq.schedule(p.when, LaneInject{lower_, p.pkt, &eq});
         }
         lane_.clear();
     }
 
-    bool laneEmpty() const { return lane_.empty(); }
+    /**
+     * Double-buffered handoff (overlapped drain): retire the active
+     * lane into the staging lane with one O(1) swap at the barrier,
+     * so the deterministic drain of window N's traffic reads a
+     * buffer the cluster can no longer touch while window N+1's
+     * sends park into a fresh active lane.
+     */
+    void
+    swapLanes()
+    {
+        pv_assert(staged_.empty(),
+                  "staging lane not drained before swap");
+        staged_.swap(lane_);
+    }
+
+    /**
+     * Fanned-out drain of the staging lane: each bank-domain worker
+     * calls this as its window prologue with a filter that returns
+     * its own domain's queue for addresses it owns and nullptr for
+     * the rest. The lane is scanned concurrently but read-only —
+     * routing uses the address copied at park time, never the
+     * packet, which another domain may deliver (and free) while
+     * this worker is still scanning. Within a bank the (boundary,
+     * send-order) sequence is the same one drainBanked would
+     * produce. The main thread clearStaged()s after the bank
+     * barrier.
+     */
+    void
+    drainStaged(
+        const std::function<EventQueue *(Addr)> &queue_of_mine) const
+    {
+        for (const Parked &p : staged_) {
+            if (EventQueue *eq = queue_of_mine(p.addr))
+                eq->schedule(p.when, LaneInject{lower_, p.pkt, eq});
+        }
+    }
+
+    void clearStaged() { staged_.clear(); }
+
+    bool laneEmpty() const
+    {
+        return lane_.empty() && staged_.empty();
+    }
 
   private:
+    /** A parked send: tick and address are captured at park time so
+     *  concurrent drains route without touching the packet. */
+    struct Parked {
+        Tick when;
+        Addr addr;
+        PacketPtr pkt;
+    };
+
     MemDevice *lower_;
     UpstreamBoundary *pair_;
     EventQueue *clusterEq_;
     std::string name_;
-    std::vector<std::pair<Tick, PacketPtr>> lane_;
+    std::vector<Parked> lane_;
+    /** Retired lane being drained (overlapped mode only). */
+    std::vector<Parked> staged_;
 };
 
 /**
@@ -391,11 +510,41 @@ class BankLaneRouter : public MemDevice
         }
     }
 
+    /**
+     * In-phase DRAM variant (dramLanes > 1): walk every parked
+     * packet in the canonical order the monolithic DRAM queue would
+     * have executed it — ascending send tick, ties broken by
+     * (bank, issue-order), exactly the (tick, insertion) order
+     * drainTo() produces — handing each to the service callback
+     * (Dram::serviceSharded). The walk is the serial residue; the
+     * service itself lands in the bank queues.
+     */
+    void
+    drainSharded(
+        const std::function<void(Tick, PacketPtr)> &service)
+    {
+        scratch_.clear();
+        for (auto &lane : lanes_) {
+            for (auto &[when, pkt] : lane)
+                scratch_.emplace_back(when, pkt);
+            lane.clear();
+        }
+        std::stable_sort(scratch_.begin(), scratch_.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (auto &[when, pkt] : scratch_)
+            service(when, pkt);
+        scratch_.clear();
+    }
+
   private:
     MemDevice *lower_;
     std::vector<EventQueue *> bankEqs_;
     std::function<unsigned(Addr)> bankOf_;
     std::vector<std::vector<std::pair<Tick, PacketPtr>>> lanes_;
+    /** Reused merge buffer for drainSharded. */
+    std::vector<std::pair<Tick, PacketPtr>> scratch_;
     std::string name_;
 };
 

@@ -44,6 +44,15 @@ QuantumScheduler::setWorkerInit(std::function<void(unsigned)> fn)
 }
 
 void
+QuantumScheduler::setWindowPrologue(
+    std::function<void(unsigned, EventQueue &)> fn)
+{
+    pv_assert(workers_.empty(),
+              "setWindowPrologue must precede the first runWindow");
+    windowPrologue_ = std::move(fn);
+}
+
+void
 QuantumScheduler::workerMain(unsigned idx)
 {
     if (workerInit_)
@@ -66,6 +75,8 @@ QuantumScheduler::workerMain(unsigned idx)
             // Every model event this thread executes schedules into
             // (and reads time from) this cluster's queue.
             EventQueue::CurrentScope scope(&eq);
+            if (windowPrologue_)
+                windowPrologue_(idx, eq);
             eq.runUntil(window_end - 1);
             if (eq.curTick() < window_end)
                 eq.setCurTick(window_end);
@@ -81,6 +92,13 @@ QuantumScheduler::workerMain(unsigned idx)
 void
 QuantumScheduler::runWindow(Tick window_end)
 {
+    runWindowAsync(window_end);
+    wait();
+}
+
+void
+QuantumScheduler::runWindowAsync(Tick window_end)
+{
     if (workers_.empty())
         startWorkers();
     {
@@ -90,6 +108,11 @@ QuantumScheduler::runWindow(Tick window_end)
         ++epoch_;
     }
     cvWork_.notify_all();
+}
+
+void
+QuantumScheduler::wait()
+{
     std::unique_lock<std::mutex> lock(mu_);
     cvDone_.wait(lock, [&] { return running_ == 0; });
 }

@@ -54,6 +54,19 @@ class QuantumScheduler
      */
     void runWindow(Tick window_end);
 
+    /**
+     * Overlapped variant: release the workers into the window and
+     * return immediately, so the caller can do barrier work that
+     * touches no cluster state (stat-deferral flushes, the DRAM
+     * reservation walk) concurrently with the window. Must be
+     * paired with wait() before anything cluster-owned is touched.
+     */
+    void runWindowAsync(Tick window_end);
+
+    /** Barrier for runWindowAsync: returns once every worker
+     *  reached window_end. */
+    void wait();
+
     /** True when no cluster queue has pending events. */
     bool allEmpty() const;
 
@@ -72,6 +85,18 @@ class QuantumScheduler
      */
     void setWorkerInit(std::function<void(unsigned)> fn);
 
+    /**
+     * Hook run by each worker at the start of every window, on that
+     * thread with its queue current, before any event executes
+     * (arguments: queue index, the queue). This is how the
+     * overlapped drain fans barrier work out to its owners: each
+     * worker replays exactly the parked traffic destined for its
+     * own queue, so the serial flush loop disappears from the
+     * barrier. Must be set before the first runWindow().
+     */
+    void setWindowPrologue(
+        std::function<void(unsigned, EventQueue &)> fn);
+
   private:
     void workerMain(unsigned idx);
     void startWorkers();
@@ -79,6 +104,7 @@ class QuantumScheduler
     std::vector<std::unique_ptr<EventQueue>> queues_;
     std::vector<std::thread> workers_;
     std::function<void(unsigned)> workerInit_;
+    std::function<void(unsigned, EventQueue &)> windowPrologue_;
 
     std::mutex mu_;
     std::condition_variable cvWork_;

@@ -2,12 +2,13 @@
  * @file
  * Sharded timing mode: determinism and safety.
  *
- * The contract under test (ISSUEs 6 and 7): whenever the quantum
+ * The contract under test (ISSUEs 6, 7 and 9): whenever the quantum
  * machinery is engaged (timingShards != 1 or an explicit
- * syncQuantum), every (timingShards, l2BankDomains) combination
- * produces bit-identical aggregate statistics and the same finish
- * tick — worker threads, bank partitioning and bank-to-domain
- * grouping change wall-clock, never results. The serial default
+ * syncQuantum), every (timingShards, l2BankDomains, dramLanes,
+ * drainOverlap) combination produces bit-identical aggregate
+ * statistics and the same finish tick — worker threads, bank
+ * partitioning, per-bank DRAM service and overlapped boundary
+ * drains change wall-clock, never results. The serial default
  * (timingShards=1, syncQuantum=0) must not construct any of the
  * machinery at all.
  */
@@ -234,6 +235,119 @@ TEST(ParallelTiming, PvProxyIdenticalAcrossBankDomains)
         EXPECT_EQ(r.stats, reference.stats)
             << banks
             << " bank domains changed stats under PV traffic";
+    }
+}
+
+TEST(ParallelTiming, DramLaneOverlapGridIdenticalStats)
+{
+    // The PR 9 contract, extending the PR 7 grid: DRAM-lane count
+    // and drain-overlap mode are pure wall-clock knobs. Every
+    // (dramLanes, drainOverlap) combination on the banked path must
+    // reproduce the serial reference bit for bit — including
+    // overlap forced on with the monolithic DRAM tail (lanes=1) and
+    // in-phase DRAM with overlap forced off.
+    const uint64_t records = 3000;
+    RunResult reference = run(bankConfig(1, 1, 12), records);
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        for (unsigned overlap : {1u, 2u}) {
+            SystemConfig cfg = bankConfig(4, 8, 12);
+            cfg.dramLanes = lanes;
+            cfg.drainOverlap = overlap;
+            RunResult r = run(cfg, records);
+            EXPECT_EQ(r.finish, reference.finish)
+                << lanes << " DRAM lanes, overlap=" << overlap
+                << " changed the finish tick";
+            EXPECT_EQ(r.instructions, reference.instructions);
+            EXPECT_EQ(r.stats, reference.stats)
+                << lanes << " DRAM lanes, overlap=" << overlap
+                << " changed aggregate statistics";
+        }
+    }
+}
+
+TEST(ParallelTiming, LegacyBarrierPinnedConfigMatchesSerial)
+{
+    // dramLanes=1 + drainOverlap=1 (forced off) is the exact pre-PR
+    // banked barrier: monolithic DRAM tail, serial egress and
+    // staged-lane flushes. Pinning it must reproduce the serial
+    // reference byte for byte, so committed baselines recorded with
+    // the legacy barrier keep their meaning.
+    const uint64_t records = 3000;
+    RunResult reference = run(bankConfig(1, 1, 12), records);
+    SystemConfig cfg = bankConfig(4, 8, 12);
+    cfg.dramLanes = 1;
+    cfg.drainOverlap = 1;
+    System sys(cfg);
+    EXPECT_EQ(sys.dramLanesEffective(), 1u);
+    EXPECT_FALSE(sys.drainOverlapEffective());
+    RunResult r = run(cfg, records);
+    EXPECT_EQ(r.finish, reference.finish);
+    EXPECT_EQ(r.stats, reference.stats);
+}
+
+TEST(ParallelTiming, PvProxyIdenticalAcrossDramLanes)
+{
+    // PV traffic drives the proxy -> L2 -> DRAM fill path hard;
+    // per-bank DRAM service plus overlapped drains must stay
+    // bit-identical to the serial reference there too.
+    const uint64_t records = 2500;
+    SystemConfig ref_cfg = pvConfig(1, 12);
+    ref_cfg.l2BankDomains = 1;
+    RunResult reference = run(ref_cfg, records);
+    for (unsigned lanes : {2u, 8u}) {
+        SystemConfig cfg = pvConfig(4, 12);
+        cfg.l2BankDomains = 8;
+        cfg.dramLanes = lanes;
+        RunResult r = run(cfg, records);
+        EXPECT_EQ(r.finish, reference.finish);
+        EXPECT_EQ(r.stats, reference.stats)
+            << lanes
+            << " DRAM lanes changed stats under PV traffic";
+    }
+}
+
+TEST(ParallelTiming, DramLanesClampAndDefault)
+{
+    {
+        // Serial default: no banked machinery, no lanes, no overlap.
+        System sys(timingConfig(1, 0));
+        EXPECT_EQ(sys.dramLanesEffective(), 1u);
+        EXPECT_FALSE(sys.drainOverlapEffective());
+    }
+    {
+        // Auto (0) on the banked path: one lane per L2 bank, and
+        // overlap follows the lanes.
+        SystemConfig cfg = bankConfig(2, 8, 0);
+        System sys(cfg);
+        EXPECT_EQ(sys.dramLanesEffective(), cfg.l2Banks);
+        EXPECT_TRUE(sys.drainOverlapEffective());
+    }
+    {
+        // Explicit requests clamp to the bank count.
+        SystemConfig cfg = bankConfig(2, 8, 0);
+        cfg.dramLanes = 64;
+        System sys(cfg);
+        EXPECT_EQ(sys.dramLanesEffective(), cfg.l2Banks);
+    }
+    {
+        // One lane keeps the serial DRAM tail and (auto) no overlap;
+        // overlap can still be forced on without lanes.
+        SystemConfig cfg = bankConfig(2, 8, 0);
+        cfg.dramLanes = 1;
+        System sys(cfg);
+        EXPECT_EQ(sys.dramLanesEffective(), 1u);
+        EXPECT_FALSE(sys.drainOverlapEffective());
+        cfg.drainOverlap = 2;
+        System forced(cfg);
+        EXPECT_TRUE(forced.drainOverlapEffective());
+    }
+    {
+        // Forced off wins over auto lanes.
+        SystemConfig cfg = bankConfig(2, 8, 0);
+        cfg.drainOverlap = 1;
+        System sys(cfg);
+        EXPECT_EQ(sys.dramLanesEffective(), cfg.l2Banks);
+        EXPECT_FALSE(sys.drainOverlapEffective());
     }
 }
 

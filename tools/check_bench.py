@@ -28,8 +28,9 @@ What is gated, and why these tolerances:
   the best protection across settings must stay positive — the
   experiment's reason to exist.
 * fig9 many_core section: the serial / sharded-only / sharded+banked
-  stats dumps must be bit-identical (the parallel-timing determinism
-  contract, now across bank domains too), all IPCs within
+  / overlapped stats dumps must be bit-identical (the
+  parallel-timing determinism contract, now across bank domains,
+  DRAM lanes, and drain overlap too), all IPCs within
   --ipc-rel-tol of the committed baseline, events/sec above
   --events-floor, and — only when the producing host had >= 4 cores
   and actually ran >= 2 shards — the sharded run must be at least
@@ -37,11 +38,19 @@ What is gated, and why these tolerances:
   with >= 8 cores that actually ran >= 2 bank domains, the
   sharded+banked run must additionally reach the committed
   baseline's sharded-only events/sec (the PR 6 floor): bank domains
-  must never make the sharded path slower where they can help. Every
-  many_core_scale row (128/256 cores) must be bit-identical between
-  its sharded-only and banked runs. The per-phase wall-clock
-  breakdown (cluster vs shared-domain = measured serial fraction) is
-  printed for every side as part of the summary.
+  must never make the sharded path slower where they can help. On
+  the same hosts the overlapped run (in-phase DRAM lanes +
+  prologue-fanned drains) must (a) keep its measured serial
+  fraction within --serial-frac-tol-pp points of the committed
+  overlapped baseline — the serial fraction this PR shrank must
+  never silently creep back — (b) land strictly below the committed
+  banked (legacy-barrier) baseline's serial fraction, and (c) reach
+  the committed banked baseline's events/sec (the PR 7 floor).
+  Every many_core_scale row (128/256 cores) must be bit-identical
+  between its sharded-only and banked runs. The per-phase
+  wall-clock breakdown (cluster vs shared-domain = measured serial
+  fraction) is printed for every side, with the delta against the
+  committed baseline, as part of the summary.
 
 * scenarios (--pvsim + --scenarios): the committed scenario corpus
   must pass `pvsim validate` (strict parse, unknown-key rejection,
@@ -130,22 +139,37 @@ def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
                 )
 
 
-def phase_summary(run):
-    """One-line cluster/shared phase split for a many-core run."""
-    cluster = run.get("cluster_phase_seconds", 0.0)
-    shared = run.get("shared_phase_seconds", 0.0)
+def serial_fraction(run):
+    """Measured serial fraction of a many-core run (0..1)."""
     frac = run.get("serial_fraction")
     if frac is None:
+        cluster = run.get("cluster_phase_seconds", 0.0)
+        shared = run.get("shared_phase_seconds", 0.0)
         total = cluster + shared
         frac = shared / total if total > 0 else 0.0
-    return (
+    return frac
+
+
+def phase_summary(run, base=None):
+    """One-line cluster/shared phase split for a many-core run,
+    with the serial-fraction delta against a baseline run when one
+    is available."""
+    cluster = run.get("cluster_phase_seconds", 0.0)
+    shared = run.get("shared_phase_seconds", 0.0)
+    frac = serial_fraction(run)
+    line = (
         f"cluster {cluster:.3f}s + shared {shared:.3f}s "
-        f"(serial fraction {100.0 * frac:.1f}%)"
+        f"(serial fraction {100.0 * frac:.1f}%"
     )
+    if base:
+        delta = 100.0 * (frac - serial_fraction(base))
+        line += f", {delta:+.1f}pp vs baseline"
+    return line + ")"
 
 
 def check_many_core(
-    gate, current, baseline, ipc_rel, events_floor, speedup_floor
+    gate, current, baseline, ipc_rel, events_floor, speedup_floor,
+    serial_frac_tol_pp,
 ):
     mc = current.get("many_core")
     gate.check(
@@ -156,11 +180,11 @@ def check_many_core(
         return
     gate.check(
         mc.get("bit_identical") is True,
-        "fig9 many_core: serial / sharded / banked runs diverged — "
-        "parallel-timing determinism broken",
+        "fig9 many_core: serial / sharded / banked / overlapped "
+        "runs diverged — parallel-timing determinism broken",
     )
     base = baseline.get("many_core", {})
-    for side in ("serial", "sharded", "banked"):
+    for side in ("serial", "sharded", "banked", "overlapped"):
         run = mc.get(side)
         gate.check(
             isinstance(run, dict),
@@ -168,7 +192,10 @@ def check_many_core(
         )
         if not isinstance(run, dict):
             continue
-        print(f"many_core {side}: {phase_summary(run)}")
+        print(
+            f"many_core {side}: "
+            f"{phase_summary(run, base.get(side))}"
+        )
         b = base.get(side, {}).get("ipc", 0)
         if b > 0:
             gate.close(
@@ -217,8 +244,60 @@ def check_many_core(
             f"(host_cores={host_cores}, shards={shards}, "
             f"bank_domains={banks})"
         )
+    # The overlapped barrier's promises, again only where the bank
+    # workers can physically run concurrently (>= 8 host cores):
+    # its serial fraction must not creep back above its own
+    # committed baseline, must stay strictly below the committed
+    # legacy-barrier (banked) serial fraction, and the run must
+    # reach the committed banked events/sec.
+    overlap = mc.get("overlapped", {})
+    lanes = overlap.get("dram_lanes", 1)
+    if host_cores >= 8 and shards >= 2 and banks >= 2 and lanes >= 2:
+        frac = serial_fraction(overlap)
+        base_overlap = base.get("overlapped")
+        if base_overlap:
+            drift_pp = 100.0 * (
+                frac - serial_fraction(base_overlap)
+            )
+            gate.check(
+                drift_pp <= serial_frac_tol_pp,
+                f"fig9 many_core overlapped: serial fraction "
+                f"{100.0 * frac:.1f}% regressed {drift_pp:+.1f}pp "
+                f"over the committed baseline (tolerance "
+                f"{serial_frac_tol_pp}pp) on a {host_cores}-core "
+                f"host",
+            )
+        base_banked = base.get("banked")
+        if base_banked:
+            legacy_frac = serial_fraction(base_banked)
+            gate.check(
+                frac < legacy_frac,
+                f"fig9 many_core overlapped: serial fraction "
+                f"{100.0 * frac:.1f}% not below the committed "
+                f"legacy-barrier baseline "
+                f"{100.0 * legacy_frac:.1f}% on a "
+                f"{host_cores}-core host",
+            )
+            floor = base_banked.get("events_per_sec", 0)
+            got = overlap.get("events_per_sec", 0)
+            gate.check(
+                got >= floor,
+                f"fig9 many_core overlapped: events/sec "
+                f"{got:.0f} below the baseline banked floor "
+                f"{floor:.0f} on a {host_cores}-core host",
+            )
+    else:
+        print(
+            f"note: many_core overlapped gates not active "
+            f"(host_cores={host_cores}, shards={shards}, "
+            f"bank_domains={banks}, dram_lanes={lanes})"
+        )
     # Scale ladder: each rung's sharded-vs-banked pair must agree
     # bit for bit, whatever the host.
+    base_scale = {
+        row.get("cores"): row
+        for row in baseline.get("many_core_scale", [])
+    }
     for row in current.get("many_core_scale", []):
         cores = row.get("cores", 0)
         gate.check(
@@ -228,9 +307,10 @@ def check_many_core(
         )
         for side in ("sharded", "banked"):
             run = row.get(side, {})
+            base_run = base_scale.get(cores, {}).get(side)
             print(
                 f"many_core_scale {cores} {side}: "
-                f"{phase_summary(run)}"
+                f"{phase_summary(run, base_run)}"
             )
 
 
@@ -401,6 +481,12 @@ def main():
         "--speedup-floor", type=float, default=2.0,
         help="minimum sharded speedup on capable (>=4 core) hosts",
     )
+    ap.add_argument(
+        "--serial-frac-tol-pp", type=float, default=3.0,
+        help="max serial-fraction regression of the overlapped "
+        "many-core run over its baseline (percentage points, "
+        ">=8-core hosts only)",
+    )
     args = ap.parse_args()
 
     gate = Gate()
@@ -414,6 +500,7 @@ def main():
         check_many_core(
             gate, fig9_cur, fig9_base,
             args.ipc_rel_tol, args.events_floor, args.speedup_floor,
+            args.serial_frac_tol_pp,
         )
     if args.stepping:
         check_stepping(gate, load(args.stepping))
