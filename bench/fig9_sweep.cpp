@@ -34,9 +34,19 @@
  * (auto lanes, overlapped drains) gated bit-identical against the
  * other three.
  *
+ * The prefetch section runs the PVCache locality-prefetch off-vs-on
+ * matched pair (fig9PrefetchCompare): the virtualized side of the
+ * "mixed" preset with identical seeds, prefetch disabled vs
+ * --pv-prefetch/--victim-entries (defaulting to depth 2 / 8 victim
+ * entries when left 0), reporting the availability-redirect
+ * reduction the speculative fills buy. check_bench.py gates the
+ * emitted "prefetch" object: on must land strictly below off.
+ *
  *   fig9_sweep [--penalty N] [--btb-sets N] [--batches N]
  *              [--warmup-records N] [--measure-records N]
  *              [--cores N] [--edge-stability default,0.8,...]
+ *              [--pv-prefetch N] [--victim-entries N]
+ *              [--skip-prefetch]
  *              [--shards N] [--quantum N] [--bank-domains N]
  *              [--dram-lanes N] [--overlap N]
  *              [--skip-many-core] [--many-core-cores N]
@@ -226,7 +236,12 @@ main(int argc, char **argv)
             unsigned(args.getUint("dram-lanes", opt.dramLanes));
         opt.drainOverlap =
             unsigned(args.getUint("overlap", opt.drainOverlap));
+        opt.pvPrefetch = unsigned(
+            args.getUint("pv-prefetch", opt.pvPrefetch));
+        opt.victimEntries = unsigned(
+            args.getUint("victim-entries", opt.victimEntries));
     }
+    const bool skip_prefetch = args.getBool("skip-prefetch", false);
     const bool skip_many_core =
         args.getBool("skip-many-core", !scenario_file.empty());
     const unsigned many_core_cores =
@@ -317,6 +332,30 @@ main(int argc, char **argv)
         t.printCsv(std::cout);
     else
         t.print(std::cout);
+
+    // ---- PVCache locality prefetch: off-vs-on matched pair --------
+    Fig9PrefetchResult pf;
+    if (!skip_prefetch) {
+        pf = fig9PrefetchCompare(opt);
+        std::cout << "\nPVCache locality prefetch (" << pf.mix
+                  << ", virtualized BTB, depth=" << pf.depth
+                  << ", victim_entries=" << pf.victimEntries
+                  << "):\n"
+                  << "  off: IPC " << fmtDouble(pf.off.ipc, 4)
+                  << ", avail-redir "
+                  << fmtDouble(pf.off.availRedirectPct, 2) << "%\n"
+                  << "  on : IPC " << fmtDouble(pf.on.ipc, 4)
+                  << ", avail-redir "
+                  << fmtDouble(pf.on.availRedirectPct, 2)
+                  << "%, fills " << pf.on.prefetchFills
+                  << ", useful " << pf.on.prefetchUseful
+                  << ", drops " << pf.on.prefetchDrops
+                  << ", victim hits " << pf.on.victimHits << "\n"
+                  << "  protection "
+                  << fmtDouble(pf.availImprovementPct, 1)
+                  << "% relative, IPC delta "
+                  << fmtDouble(pf.ipcDeltaPct, 2) << "%\n";
+    }
 
     // ---- Many-core scaling: serial vs sharded-only vs
     // sharded+banked vs fully-overlapped, all bit-identical.
@@ -455,11 +494,37 @@ main(int argc, char **argv)
        << (rows.empty() ? opt.l2BankDomains : rows[0].l2BankDomains)
        << ",\n"
        << "  \"sync_quantum\": " << opt.syncQuantum << ",\n"
+       << "  \"pv_prefetch\": " << opt.pvPrefetch << ",\n"
+       << "  \"victim_entries\": " << opt.victimEntries << ",\n"
        << "  \"rows\": [\n";
     for (size_t i = 0; i < rows.size(); ++i)
         js << "    " << fig9RowJson(rows[i], jobs_effective)
            << (i + 1 < rows.size() ? "," : "") << "\n";
     js << "  ]";
+    if (!skip_prefetch) {
+        auto side = [&js](const char *name,
+                          const Fig9PrefetchSide &s) {
+            js << "    \"" << name << "\": {\"ipc\": " << s.ipc
+               << ", \"avail_redirect_pct\": " << s.availRedirectPct
+               << ", \"prefetch_fills\": " << s.prefetchFills
+               << ", \"prefetch_useful\": " << s.prefetchUseful
+               << ", \"prefetch_drops\": " << s.prefetchDrops
+               << ", \"victim_hits\": " << s.victimHits
+               << ", \"wall_seconds\": " << s.wallSeconds << "}";
+        };
+        js << ",\n  \"prefetch\": {\n"
+           << "    \"mix\": \"" << pf.mix << "\",\n"
+           << "    \"depth\": " << pf.depth << ",\n"
+           << "    \"victim_entries\": " << pf.victimEntries
+           << ",\n";
+        side("off", pf.off);
+        js << ",\n";
+        side("on", pf.on);
+        js << ",\n    \"avail_improvement_pct\": "
+           << pf.availImprovementPct
+           << ",\n    \"ipc_delta_pct\": " << pf.ipcDeltaPct
+           << "\n  }";
+    }
     if (!skip_many_core) {
         js << ",\n  \"many_core\": {\n"
            << "    \"cores\": " << many_core_cores << ",\n"
@@ -534,6 +599,23 @@ main(int argc, char **argv)
                       << r.dedicatedHitPct
                       << "% — the branch stream is no longer "
                          "learnable\n";
+            return 1;
+        }
+    }
+    // The prefetch pair must have run for real: both sides with a
+    // live IPC, and the on side actually exercising the detector —
+    // the gate on the redirect reduction itself lives in
+    // check_bench.py where its tolerance is configurable.
+    if (!skip_prefetch) {
+        if (pf.off.ipc <= 0.0 || pf.on.ipc <= 0.0) {
+            std::cerr << "FAIL: prefetch comparison produced a "
+                         "zero IPC\n";
+            return 1;
+        }
+        if (pf.on.prefetchFills == 0) {
+            std::cerr << "FAIL: prefetch-on run issued no "
+                         "speculative fills — the stride detector "
+                         "never fired\n";
             return 1;
         }
     }

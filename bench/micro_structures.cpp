@@ -89,10 +89,11 @@ BM_PvProxyHit(benchmark::State &state)
     PvProxyParams pp;
     PvProxy proxy(ctx, pp, PvTableLayout(amap.pvStart(0), 1024));
     proxy.setMemSide(&l2);
-    proxy.access(3, [](PvLineView) {});
+    proxy.access({0, 3, PvReqClass::Demand, [](PvLineView) {}});
     for (auto _ : state) {
         uint8_t byte = 0;
-        proxy.access(3, [&](PvLineView v) { byte = v.bytes[0]; });
+        proxy.access({0, 3, PvReqClass::Demand,
+                      [&](PvLineView v) { byte = v.bytes[0]; }});
         benchmark::DoNotOptimize(byte);
     }
 }

@@ -25,7 +25,8 @@
  * the default flips to auto-sharding (--shards 0).
  *
  *   qos_contention [--penalty N] [--btb-sets N] [--agt-sets N]
- *                  [--pvcache N] [--batches N] [--cores N]
+ *                  [--pvcache N] [--pv-prefetch N]
+ *                  [--victim-entries N] [--batches N] [--cores N]
  *                  [--warmup-records N] [--measure-records N]
  *                  [--shards N] [--quantum N] [--bank-domains N]
  *                  [--dram-lanes N] [--overlap N]
@@ -86,6 +87,10 @@ main(int argc, char **argv)
             unsigned(args.getUint("agt-sets", opt.agtSets));
         opt.pvCacheEntries =
             unsigned(args.getUint("pvcache", opt.pvCacheEntries));
+        opt.pvPrefetch = unsigned(
+            args.getUint("pv-prefetch", opt.pvPrefetch));
+        opt.victimEntries = unsigned(
+            args.getUint("victim-entries", opt.victimEntries));
         opt.numCores = int(args.getUint("cores", opt.numCores));
         opt.batches = unsigned(std::max<uint64_t>(
             1, args.getUint("batches", smoke ? 2 : 3)));

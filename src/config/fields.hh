@@ -234,6 +234,8 @@ reflectFields(SystemConfig &c, V &v)
     v.field("pht_geometry", c.phtGeometry);
     v.field("pht_qos", c.phtQos);
     v.field("pv_cache_entries", c.pvCacheEntries);
+    v.field("pv_prefetch", c.pvPrefetch);
+    v.field("victim_entries", c.victimEntries);
     v.field("drop_pv_writebacks", c.dropPvWritebacks);
     v.field("shared_pv_table", c.sharedPvTable);
     v.field("virt_engines", c.virtEngines);
@@ -265,6 +267,8 @@ reflectFields(Fig9Options &c, V &v)
     v.field("batches", c.batches);
     v.field("mixes", c.mixes);
     v.field("edge_stabilities", c.edgeStabilities);
+    v.field("pv_prefetch", c.pvPrefetch);
+    v.field("victim_entries", c.victimEntries);
     v.field("timing_shards", c.timingShards);
     v.field("sync_quantum", c.syncQuantum);
     v.field("l2_bank_domains", c.l2BankDomains);
@@ -319,7 +323,12 @@ reflectFields(QosOptions &c, V &v)
     v.field("btb_assoc", c.btbAssoc);
     v.field("agt_sets", c.agtSets);
     v.field("penalty_cycles", c.penalty);
-    v.field("pvcache_entries", c.pvCacheEntries);
+    // Renamed from "pvcache_entries" to match SystemConfig's
+    // spelling; the alias keeps committed scenarios parsing.
+    v.alias("pvcache_entries", c.pvCacheEntries);
+    v.field("pv_cache_entries", c.pvCacheEntries);
+    v.field("pv_prefetch", c.pvPrefetch);
+    v.field("victim_entries", c.victimEntries);
     v.field("warmup_records", c.warmupRecords);
     v.field("measure_records", c.measureRecords);
     v.field("batches", c.batches);

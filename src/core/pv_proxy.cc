@@ -20,14 +20,22 @@ PvProxy::EngineStats::EngineStats(stats::Group *parent,
       qosDrops(this, "qos_drops",
                "operations dropped by the share policy "
                "(fair-share or weighted QoS)"),
-      fills(this, "fills", "sets fetched for this engine"),
+      fills(this, "fills", "demand sets fetched for this engine"),
       writebacks(this, "writebacks",
                  "dirty lines of this engine written to the L2"),
       fillLatencyTicks(this, "fill_latency_ticks",
-                       "ticks this engine's fills spent between "
-                       "fetch issue and PVCache install"),
+                       "ticks this engine's demand fills spent "
+                       "between fetch issue and PVCache install"),
       pvCachePeak(this, "pvcache_peak",
-                  "most PVCache entries held at once")
+                  "most PVCache entries held at once"),
+      prefetchFills(this, "prefetch_fills",
+                    "speculative sets installed for this engine"),
+      prefetchUseful(this, "prefetch_useful",
+                     "prefetched lines later hit by a demand op"),
+      prefetchDrops(this, "prefetch_drops",
+                    "prefetches dropped by headroom/entitlement"),
+      victimHits(this, "victim_hits",
+                 "demand misses served from the victim buffer")
 {
 }
 
@@ -46,16 +54,25 @@ PvProxy::PvProxy(SimContext &ctx, const PvProxyParams &params,
                  "operations dropped and reported as predictor miss"),
       fairnessDrops(this, "fairness_drops",
                     "operations dropped by the fair-share policy"),
-      fills(this, "fills", "sets installed in the PVCache"),
+      fills(this, "fills", "demand sets installed in the PVCache"),
       writebacks(this, "writebacks", "dirty lines written to the L2"),
       cleanEvicts(this, "clean_evicts",
                   "clean lines discarded on eviction"),
       evictOverflows(this, "evict_overflows",
                      "evictions exceeding the evict buffer"),
+      prefetchFills(this, "prefetch_fills",
+                    "speculative sets installed in the PVCache"),
+      prefetchUseful(this, "prefetch_useful",
+                     "prefetched lines later hit by a demand op"),
+      prefetchDrops(this, "prefetch_drops",
+                    "prefetches dropped by headroom/entitlement"),
+      victimHits(this, "victim_hits",
+                 "demand misses served from the victim buffer"),
       params_(params), region_(region_start, region_bytes)
 {
     pv_assert(params_.pvCacheEntries > 0, "PVCache needs entries");
     entries_.resize(params_.pvCacheEntries);
+    victims_.resize(params_.victimEntries);
     qos_.setCapacities(params_.pvCacheEntries, params_.mshrs,
                        params_.patternBufferEntries);
 }
@@ -79,10 +96,11 @@ PvProxy::registerEngine(const PvEngineInfo &info)
     }
     unsigned table = numEngines();
     Engine e{info, region_.allocate(info.numSets),
-             std::make_unique<EngineStats>(this, info.name)};
+             std::make_unique<EngineStats>(this, info.name), {}};
     engines_.push_back(std::move(e));
     qos_.addTenant(info.qos);
     cacheOcc_.push_back(0);
+    victimOcc_.push_back(0);
     return table;
 }
 
@@ -97,10 +115,20 @@ PvProxy::findEntry(unsigned line)
 }
 
 void
-PvProxy::evictEntry(CacheEntry &e)
+PvProxy::evictEntry(CacheEntry &e, bool retain)
 {
     if (!e.valid)
         return;
+    if (retain && retainVictim(e)) {
+        // Moved into the victim buffer: no memory traffic, and the
+        // retained copy keeps the line's dirty state.
+        e.valid = false;
+        e.dirty = false;
+        e.prefetched = false;
+        pv_assert(cacheOcc_[e.table] > 0, "PVCache occupancy underflow");
+        --cacheOcc_[e.table];
+        return;
+    }
     if (e.dirty) {
         // Dirty predictor lines are sent to the memory hierarchy
         // like any other data (paper Section 2.2).
@@ -119,8 +147,125 @@ PvProxy::evictEntry(CacheEntry &e)
     }
     e.valid = false;
     e.dirty = false;
+    e.prefetched = false;
     pv_assert(cacheOcc_[e.table] > 0, "PVCache occupancy underflow");
     --cacheOcc_[e.table];
+}
+
+unsigned
+PvProxy::victimShare(unsigned table) const
+{
+    unsigned cap = unsigned(victims_.size());
+    if (cap == 0)
+        return 0;
+    if (!qos_.active())
+        return cap;
+    // Victim capacity is charged to the owning tenant's PVCache
+    // entitlement share: a zero-entitlement tenant retains nothing,
+    // and an aggressor cannot launder occupancy through the buffer.
+    unsigned ent = qos_.entitlement(table, PvQosArbiter::PvCache);
+    if (ent == 0)
+        return 0;
+    return std::max(1u, cap * ent / params_.pvCacheEntries);
+}
+
+bool
+PvProxy::retainVictim(const CacheEntry &e)
+{
+    unsigned cap = victimShare(e.table);
+    if (cap == 0)
+        return false;
+
+    auto lru_among = [this](auto pred) -> CacheEntry * {
+        CacheEntry *v = nullptr;
+        for (auto &s : victims_) {
+            if (s.valid && pred(s) &&
+                (!v || s.lastTouch < v->lastTouch))
+                v = &s;
+        }
+        return v;
+    };
+
+    CacheEntry *slot = nullptr;
+    for (auto &s : victims_) {
+        if (!s.valid) {
+            slot = &s;
+            break;
+        }
+    }
+    if (victimOcc_[e.table] >= cap) {
+        // At its share: recycle the tenant's own coldest victim
+        // rather than growing into other tenants' headroom.
+        slot = lru_among([&e](const CacheEntry &s) {
+            return s.table == e.table;
+        });
+    } else if (!slot) {
+        slot = lru_among([](const CacheEntry &) { return true; });
+    }
+    pv_assert(slot != nullptr, "victim buffer bookkeeping broke");
+    if (slot->valid)
+        flushVictimSlot(*slot);
+    *slot = e;
+    slot->valid = true;
+    slot->prefetched = false;
+    ++victimOcc_[e.table];
+    return true;
+}
+
+void
+PvProxy::flushVictimSlot(CacheEntry &slot)
+{
+    if (!slot.valid)
+        return;
+    if (slot.dirty) {
+        if (sendQueue_.size() >= params_.evictBufferEntries)
+            ++evictOverflows;
+        auto *wb = allocPacket(MemCmd::Writeback,
+                               lineAddress(slot.line), kInvalidCore);
+        wb->isPv = true;
+        wb->coherent = false;
+        wb->setData(slot.bytes.data());
+        ++writebacks;
+        ++engineStats(slot.table).writebacks;
+        sendDown(wb);
+    } else {
+        ++cleanEvicts;
+    }
+    slot.valid = false;
+    slot.dirty = false;
+    pv_assert(victimOcc_[slot.table] > 0, "victim occupancy underflow");
+    --victimOcc_[slot.table];
+}
+
+bool
+PvProxy::reinstallVictim(unsigned line, unsigned table,
+                         const SetOp &op)
+{
+    CacheEntry *v = nullptr;
+    for (auto &s : victims_) {
+        if (s.valid && s.line == line) {
+            v = &s;
+            break;
+        }
+    }
+    if (!v)
+        return false;
+    pv_assert(v->table == table,
+              "victim line %u owned by another tenant", line);
+    CacheEntry saved = *v;
+    v->valid = false;
+    pv_assert(victimOcc_[table] > 0, "victim occupancy underflow");
+    --victimOcc_[table];
+    // Free the slot before allocating: the reinstall may evict a
+    // PVCache line that wants this very victim slot.
+    CacheEntry &e = allocateEntry(line, table);
+    e.bytes = saved.bytes;
+    e.ages = saved.ages;
+    e.dirty = saved.dirty;
+    ++victimHits;
+    ++engineStats(table).victimHits;
+    applyOp(e, op);
+    return true;
 }
 
 PvProxy::CacheEntry *
@@ -178,12 +323,13 @@ PvProxy::allocateEntry(unsigned line, unsigned table)
     }
     if (!victim) {
         victim = pickVictim(table);
-        evictEntry(*victim);
+        evictEntry(*victim, /*retain=*/true);
     }
     victim->valid = true;
     victim->line = line;
     victim->table = table;
     victim->dirty = false;
+    victim->prefetched = false;
     victim->lastTouch = ++touchCounter_;
     victim->bytes.fill(0);
     victim->ages.fill(0xff); // everything "old" until touched
@@ -281,21 +427,47 @@ PvProxy::shareLimit(unsigned table, PvQosArbiter::Resource r) const
 }
 
 void
-PvProxy::access(unsigned table, unsigned set, SetOp op)
+PvProxy::access(PvRequest req)
 {
-    pv_assert(table < numEngines(), "table-id %u not registered",
-              table);
-    Engine &eng = engines_[table];
-    pv_assert(set < eng.layout.numSets(), "set %u out of range for %s",
-              set, eng.info.name.c_str());
+    pv_assert(req.table < numEngines(), "table-id %u not registered",
+              req.table);
+    Engine &eng = engines_[req.table];
+    pv_assert(req.set < eng.layout.numSets(),
+              "set %u out of range for %s", req.set,
+              eng.info.name.c_str());
     ++operations;
     ++eng.stats->operations;
 
+    switch (req.cls) {
+      case PvReqClass::Demand:
+        pv_assert(req.op != nullptr, "Demand PvRequest needs an op");
+        accessDemand(req.table, req.set, std::move(req.op));
+        return;
+      case PvReqClass::Prefetch:
+        issuePrefetch(req.table, req.set);
+        return;
+      case PvReqClass::Writeback:
+        writebackSet(req.table, req.set, req.op);
+        return;
+    }
+}
+
+void
+PvProxy::accessDemand(unsigned table, unsigned set, SetOp op)
+{
+    Engine &eng = engines_[table];
     unsigned line = region_.lineOf(eng.layout.setAddress(set));
     if (CacheEntry *e = findEntry(line)) {
         ++pvCacheHits;
         ++eng.stats->hits;
+        if (e->prefetched) {
+            // First demand reference to a speculative fill.
+            e->prefetched = false;
+            ++prefetchUseful;
+            ++eng.stats->prefetchUseful;
+        }
         applyOp(*e, op);
+        maybePrefetch(table, set);
         return;
     }
     ++pvCacheMisses;
@@ -307,6 +479,11 @@ PvProxy::access(unsigned table, unsigned set, SetOp op)
         // deadlocked — the callback still runs). Applies in both
         // modes, so starvation is mode-independent.
         dropOp(table, op, true);
+        return;
+    }
+
+    if (!victims_.empty() && reinstallVictim(line, table, op)) {
+        maybePrefetch(table, set);
         return;
     }
 
@@ -325,10 +502,142 @@ PvProxy::access(unsigned table, unsigned set, SetOp op)
         ++fills;
         ++eng.stats->fills;
         applyOp(e, op);
+        maybePrefetch(table, set);
         return;
     }
 
     fetchLine(line, table, std::move(op));
+    // Speculate only after the demand fetch has claimed its MSHR:
+    // prefetches see post-demand occupancy by construction.
+    maybePrefetch(table, set);
+}
+
+void
+PvProxy::maybePrefetch(unsigned table, unsigned set)
+{
+    if (params_.prefetchDepth == 0)
+        return;
+    StrideState &st = engines_[table].stride;
+    if (!st.seen) {
+        st.seen = true;
+        st.lastSet = set;
+        return;
+    }
+    int stride = int(set) - int(st.lastSet);
+    if (stride == 0) {
+        // Same-set pairs (a find followed by its mutate) carry no
+        // direction; keep the detector state for the next hop.
+        return;
+    }
+    // Two flavors of sequential walk: an exact stride repeat
+    // (regular table scan), or two short forward hops — real code
+    // advances through variable-length basic blocks, so consecutive
+    // set deltas are rarely equal even on a straight-line walk.
+    const bool stable = stride == st.lastStride;
+    const bool sequential =
+        stride > 0 && stride <= kSequentialWindow &&
+        st.lastStride > 0 && st.lastStride <= kSequentialWindow;
+    st.lastStride = stride;
+    st.lastSet = set;
+    if (!stable && !sequential)
+        return;
+    const long num_sets = long(engines_[table].layout.numSets());
+    for (unsigned k = 1; k <= params_.prefetchDepth; ++k) {
+        long next = stable ? long(set) + long(stride) * long(k)
+                           : long(set) + long(k);
+        if (next < 0 || next >= num_sets)
+            break;
+        issuePrefetch(table, unsigned(next));
+    }
+}
+
+void
+PvProxy::issuePrefetch(unsigned table, unsigned set)
+{
+    Engine &eng = engines_[table];
+    unsigned line = region_.lineOf(eng.layout.setAddress(set));
+    if (findEntry(line))
+        return;
+    for (const auto &s : victims_) {
+        if (s.valid && s.line == line)
+            return;
+    }
+    for (const auto &f : inFlight_) {
+        if (f.line == line)
+            return;
+    }
+    if (shareLimit(table, PvQosArbiter::PvCache) == 0) {
+        ++prefetchDrops;
+        ++eng.stats->prefetchDrops;
+        return;
+    }
+    if (!isTiming()) {
+        pv_assert(memSide_ != nullptr, "PVProxy has no memory side");
+        ++memRequests;
+        Packet pkt(MemCmd::ReadReq, lineAddress(line), kInvalidCore);
+        pkt.isPv = true;
+        pkt.isPrefetch = true;
+        pkt.coherent = false;
+        memSide_->functionalAccess(pkt);
+        CacheEntry &e = allocateEntry(line, table);
+        if (pkt.hasData())
+            e.bytes = *pkt.data;
+        e.prefetched = true;
+        ++prefetchFills;
+        ++eng.stats->prefetchFills;
+        return;
+    }
+    // Low-priority by construction: a speculative fetch never takes
+    // the last free MSHR, and it is charged against the owning
+    // tenant's MSHR entitlement — a zero-entitlement tenant's
+    // prefetches drop first, and demand traffic always keeps
+    // headroom.
+    if (inFlight_.size() + 1 >= params_.mshrs ||
+        inFlightCount(table) >=
+            shareLimit(table, PvQosArbiter::Mshrs)) {
+        ++prefetchDrops;
+        ++eng.stats->prefetchDrops;
+        return;
+    }
+    inFlight_.push_back(InFlight{line, table, PvReqClass::Prefetch, {}});
+    ++memRequests;
+    auto *pkt = allocPacket(MemCmd::ReadReq, lineAddress(line),
+                            kInvalidCore);
+    pkt->isPv = true;
+    pkt->isPrefetch = true;
+    pkt->coherent = false;
+    pkt->src = this;
+    pkt->issueTick = curTick();
+    sendDown(pkt);
+}
+
+void
+PvProxy::writebackSet(unsigned table, unsigned set, const SetOp &op)
+{
+    Engine &eng = engines_[table];
+    unsigned line = region_.lineOf(eng.layout.setAddress(set));
+    if (CacheEntry *e = findEntry(line)) {
+        ++pvCacheHits;
+        ++eng.stats->hits;
+        if (op)
+            applyOp(*e, op);
+        // An explicit writeback bypasses victim retention: the
+        // engine is telling us the line is done.
+        evictEntry(*e, /*retain=*/false);
+        return;
+    }
+    ++pvCacheMisses;
+    ++eng.stats->misses;
+    for (auto &s : victims_) {
+        if (s.valid && s.line == line) {
+            flushVictimSlot(s);
+            break;
+        }
+    }
+    if (op) {
+        PvLineView view{nullptr, nullptr, nullptr};
+        op(view);
+    }
 }
 
 void
@@ -371,7 +680,7 @@ PvProxy::fetchLine(unsigned line, unsigned table, SetOp op)
         return;
     }
 
-    inFlight_.push_back(InFlight{line, table, {}});
+    inFlight_.push_back(InFlight{line, table, PvReqClass::Demand, {}});
     inFlight_.back().pendingOps.push_back(std::move(op));
 
     ++memRequests;
@@ -430,6 +739,7 @@ PvProxy::recvResponse(PacketPtr pkt)
               "PVProxy response for line %u with no MSHR", line);
 
     unsigned table = it->table;
+    PvReqClass cls = it->cls;
     std::vector<SetOp> ops;
     ops.swap(it->pendingOps);
     inFlight_.erase(it);
@@ -437,10 +747,25 @@ PvProxy::recvResponse(PacketPtr pkt)
     CacheEntry &e = allocateEntry(line, table);
     if (pkt->hasData())
         e.bytes = *pkt->data;
-    ++fills;
-    ++engineStats(table).fills;
-    engineStats(table).fillLatencyTicks +=
-        curTick() - pkt->issueTick;
+    if (cls == PvReqClass::Prefetch) {
+        ++prefetchFills;
+        ++engineStats(table).prefetchFills;
+        // Demand-fill latency stays undiluted: speculative fills
+        // contribute no fill_latency_ticks.
+        if (ops.empty()) {
+            e.prefetched = true;
+        } else {
+            // A demand op coalesced onto the speculative fetch
+            // while it was in flight: timely prefetch.
+            ++prefetchUseful;
+            ++engineStats(table).prefetchUseful;
+        }
+    } else {
+        ++fills;
+        ++engineStats(table).fills;
+        engineStats(table).fillLatencyTicks +=
+            curTick() - pkt->issueTick;
+    }
     freePacket(pkt);
 
     for (const SetOp &op : ops)
@@ -451,7 +776,9 @@ void
 PvProxy::flush()
 {
     for (auto &e : entries_)
-        evictEntry(e);
+        evictEntry(e, /*retain=*/false);
+    for (auto &s : victims_)
+        flushVictimSlot(s);
 }
 
 PvProxy::StorageBreakdown
@@ -486,6 +813,9 @@ PvProxy::storageBreakdown() const
         uint64_t(params_.evictBufferEntries) * kBlockBytes * 8;
     // Pattern buffer stages one 32-bit pattern per pending op.
     b.patternBuffer = uint64_t(params_.patternBufferEntries) * 32;
+    // Victim buffer holds full lines plus tag/dirty metadata.
+    b.victimBuffer = uint64_t(params_.victimEntries) *
+                     (kBlockBytes * 8 + tag_bits + 1);
     return b;
 }
 

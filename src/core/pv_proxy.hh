@@ -20,9 +20,36 @@
  * fair share, protecting a latency-critical tenant from a
  * bandwidth-hungry one.
  *
+ * Every entry point is one PvRequest descriptor: (table, set, class,
+ * op), where the class is Demand, Prefetch or Writeback. Demand
+ * requests are the engines' ordinary set operations; Prefetch
+ * requests ask for a speculative fill of a set's line without an
+ * operation attached; Writeback requests force a set's line out to
+ * memory. On top of the demand stream the proxy runs the paper's
+ * Section 4.3 locality optimizations when enabled:
+ *
+ *  - `prefetchDepth` > 0 arms a per-tenant sequential-set stride
+ *    detector; a demand access extending a detected stride issues
+ *    speculative fills for the next set(s). Prefetches are
+ *    low-priority by construction: they never take the last free
+ *    MSHR, are charged against the owning tenant's MSHR entitlement
+ *    (a zero-entitlement tenant's prefetches drop first), and their
+ *    PVCache occupancy is charged like any other line, so a tenant
+ *    cannot launder capacity through speculation.
+ *  - `victimEntries` > 0 adds a small victim buffer retaining
+ *    evicted lines; a demand miss that hits the victim buffer
+ *    reinstalls the line without memory traffic. Victim capacity is
+ *    charged to the owning tenant's PVCache entitlement share.
+ *
+ * Both knobs default to 0, which is bit-identical to the
+ * pre-prefetch proxy.
+ *
  * All PVProxy memory traffic is made of ordinary requests injected
  * at the L2 ("on the backside of the L1"); the hierarchy is
- * oblivious to what it is caching.
+ * oblivious to what it is caching. Speculative fills are ReadReq
+ * packets flagged isPrefetch, taking the exact same path as demand
+ * fills — the determinism contract of the sharded timing mode is
+ * untouched.
  */
 
 #ifndef PVSIM_CORE_PV_PROXY_HH
@@ -60,6 +87,12 @@ struct PvProxyParams {
      *  Used by the legacy single-tenant constructor; engines
      *  registered explicitly report their own codec's usedBits(). */
     unsigned usedBitsPerLine = 473;
+    /** Sets prefetched ahead on a detected sequential-set stride
+     *  (paper Section 4.3 locality prefetch). 0 disables the
+     *  detector entirely — bit-identical to the pre-prefetch proxy. */
+    unsigned prefetchDepth = 0;
+    /** Victim-buffer entries retaining evicted lines (0 = none). */
+    unsigned victimEntries = 0;
 };
 
 /** Registration record for one tenant table. */
@@ -89,18 +122,42 @@ struct PvLineView {
     std::array<uint8_t, kPvMaxWays> *ages;
 };
 
+/**
+ * An operation against one table set. Runs exactly once, either
+ * immediately (PVCache hit / functional mode) or when the set
+ * arrives from the memory hierarchy. If the proxy must drop the
+ * operation (buffers full), it runs with view.bytes == nullptr —
+ * the engine then sees a predictor miss (paper Section 2.2).
+ */
+using PvSetOp = std::function<void(PvLineView view)>;
+
+/** Request classes a PvRequest may carry. */
+enum class PvReqClass {
+    Demand,    ///< ordinary engine operation (needs an op)
+    Prefetch,  ///< speculative fill of the set's line (no op)
+    Writeback, ///< force the set's line out to memory
+};
+
+/**
+ * The proxy's single entry descriptor: every engine-visible access
+ * is one of these, flowing proxy -> QoS arbiter -> boundary/L2.
+ * Demand requests require `op`; Prefetch requests ignore it;
+ * Writeback requests run `op` (when present) on the line before
+ * flushing it, or with a null view when the line is not resident.
+ */
+struct PvRequest {
+    unsigned table = 0;
+    unsigned set = 0;
+    PvReqClass cls = PvReqClass::Demand;
+    PvSetOp op;
+};
+
 /** The proxy. */
 class PvProxy : public SimObject, public MemClient
 {
   public:
-    /**
-     * An operation against one table set. Runs exactly once, either
-     * immediately (PVCache hit / functional mode) or when the set
-     * arrives from the memory hierarchy. If the proxy must drop the
-     * operation (buffers full), it runs with view.bytes == nullptr —
-     * the engine then sees a predictor miss (paper Section 2.2).
-     */
-    using SetOp = std::function<void(PvLineView view)>;
+    /** Engine-facing alias for the set-operation callback. */
+    using SetOp = PvSetOp;
 
     /**
      * Multi-tenant constructor: the proxy fronts the PV region
@@ -149,16 +206,13 @@ class PvProxy : public SimObject, public MemClient
     void setMemSide(MemDevice *dev) { memSide_ = dev; }
 
     /**
-     * Perform op on the line of set `set` of tenant `table`,
-     * fetching it from the memory hierarchy on a PVCache miss.
+     * Perform one request (see PvRequest). Demand requests fetch
+     * the set's line from the memory hierarchy on a PVCache miss;
+     * Prefetch requests issue a speculative fill subject to the
+     * MSHR-headroom and entitlement rules; Writeback requests flush
+     * the set's line (bypassing victim retention).
      */
-    void access(unsigned table, unsigned set, SetOp op);
-
-    /** Single-tenant shorthand: table 0. */
-    void access(unsigned set, SetOp op)
-    {
-        access(0, set, std::move(op));
-    }
+    void access(PvRequest req);
 
     /** Write back all dirty lines (all tenants) and drop clean ones. */
     void flush();
@@ -187,12 +241,13 @@ class PvProxy : public SimObject, public MemClient
         uint64_t mshrs = 0;
         uint64_t evictBuffer = 0;
         uint64_t patternBuffer = 0;
+        uint64_t victimBuffer = 0;
 
         uint64_t
         totalBits() const
         {
             return pvCacheData + tags + dirtyBits + mshrs +
-                   evictBuffer + patternBuffer;
+                   evictBuffer + patternBuffer + victimBuffer;
         }
 
         double totalBytes() const { return totalBits() / 8.0; }
@@ -209,14 +264,24 @@ class PvProxy : public SimObject, public MemClient
         stats::Scalar misses;      ///< PVCache misses
         stats::Scalar drops;       ///< ops dropped (predictor miss)
         stats::Scalar qosDrops;    ///< ... by the share policy
-        stats::Scalar fills;       ///< sets fetched for this tenant
+        stats::Scalar fills;       ///< demand sets fetched
         stats::Scalar writebacks;  ///< dirty lines written back
-        /** Sum of ticks each of this tenant's fills spent between
-         *  fetch issue and PVCache install (timing mode): divide by
-         *  `fills` for the tenant's mean fill latency. */
+        /** Sum of ticks each of this tenant's *demand* fills spent
+         *  between fetch issue and PVCache install (timing mode):
+         *  divide by `fills` for the tenant's mean demand-fill
+         *  latency. Speculative fills are counted separately in
+         *  prefetchFills so they cannot dilute this mean. */
         stats::Scalar fillLatencyTicks;
         /** High-watermark of PVCache entries held at once. */
         stats::Scalar pvCachePeak;
+        /** Speculative fills installed for this tenant. */
+        stats::Scalar prefetchFills;
+        /** Prefetched lines later referenced by a demand access. */
+        stats::Scalar prefetchUseful;
+        /** Prefetches dropped by headroom/entitlement rules. */
+        stats::Scalar prefetchDrops;
+        /** Demand misses served from the victim buffer. */
+        stats::Scalar victimHits;
     };
 
     EngineStats &engineStats(unsigned table)
@@ -267,6 +332,13 @@ class PvProxy : public SimObject, public MemClient
         return pendingOpCount(table);
     }
 
+    /** Victim-buffer entries tenant `table` currently holds. */
+    unsigned
+    victimOccupancy(unsigned table) const
+    {
+        return victimOcc_.at(table);
+    }
+
     // Aggregate statistics (all tenants)
     stats::Scalar operations;
     stats::Scalar pvCacheHits;
@@ -275,16 +347,28 @@ class PvProxy : public SimObject, public MemClient
     stats::Scalar coalescedOps;  ///< ops joining an in-flight fetch
     stats::Scalar droppedOps;    ///< ops dropped (reported as miss)
     stats::Scalar fairnessDrops; ///< ... dropped by the fair policy
-    stats::Scalar fills;
+    stats::Scalar fills;         ///< demand fills installed
     stats::Scalar writebacks;    ///< dirty lines sent to the L2
     stats::Scalar cleanEvicts;   ///< clean lines silently dropped
     stats::Scalar evictOverflows;
+    stats::Scalar prefetchFills;  ///< speculative fills installed
+    stats::Scalar prefetchUseful; ///< ... later used by demand
+    stats::Scalar prefetchDrops;  ///< prefetches dropped pre-issue
+    stats::Scalar victimHits;     ///< misses served by the victim buf
 
   private:
+    /** Per-tenant sequential-set stride detector state. */
+    struct StrideState {
+        bool seen = false;
+        unsigned lastSet = 0;
+        int lastStride = 0;
+    };
+
     struct Engine {
         PvEngineInfo info;
         PvTableLayout layout;
         std::unique_ptr<EngineStats> stats;
+        StrideState stride;
     };
 
     struct CacheEntry {
@@ -292,24 +376,46 @@ class PvProxy : public SimObject, public MemClient
         unsigned line = 0;  ///< global line index in the region
         unsigned table = 0; ///< owning tenant (stats attribution)
         bool dirty = false;
+        /** Installed speculatively and not yet demand-referenced. */
+        bool prefetched = false;
         uint64_t lastTouch = 0;
         std::array<uint8_t, kBlockBytes> bytes{};
         std::array<uint8_t, kPvMaxWays> ages{};
     };
 
-    /** One pending fetch, tagged with the owning tenant. */
+    /** One pending fetch, tagged with tenant and request class. */
     struct InFlight {
         unsigned line = 0;
         unsigned table = 0;
+        PvReqClass cls = PvReqClass::Demand;
         std::vector<SetOp> pendingOps;
     };
 
+    /** Strides this close count as one sequential walk even when
+     *  consecutive hops differ (block lengths vary in real code). */
+    static constexpr int kSequentialWindow = 8;
+
+    void accessDemand(unsigned table, unsigned set, SetOp op);
+    void writebackSet(unsigned table, unsigned set, const SetOp &op);
+    /** Stride detection + speculative issue after a demand access. */
+    void maybePrefetch(unsigned table, unsigned set);
+    /** One speculative fill, subject to headroom/entitlement. */
+    void issuePrefetch(unsigned table, unsigned set);
     CacheEntry *findEntry(unsigned line);
     CacheEntry &allocateEntry(unsigned line, unsigned table);
     CacheEntry *pickVictim(unsigned table);
     void applyOp(CacheEntry &e, const SetOp &op);
     void dropOp(unsigned table, const SetOp &op, bool fairness);
-    void evictEntry(CacheEntry &e);
+    void evictEntry(CacheEntry &e, bool retain);
+    /** Move an evicted line into the victim buffer (when allowed). */
+    bool retainVictim(const CacheEntry &e);
+    /** Serve a demand miss from the victim buffer, if retained. */
+    bool reinstallVictim(unsigned line, unsigned table,
+                         const SetOp &op);
+    /** Flush one victim slot to memory (writeback/clean-evict). */
+    void flushVictimSlot(CacheEntry &slot);
+    /** Victim-buffer entries tenant `table` may occupy. */
+    unsigned victimShare(unsigned table) const;
     void sendDown(PacketPtr pkt);
     void drainSendQueue();
     void fetchLine(unsigned line, unsigned table, SetOp op);
@@ -345,9 +451,12 @@ class PvProxy : public SimObject, public MemClient
     PvQosArbiter qos_;
     /** PVCache entries held per tenant (occupancy charging). */
     std::vector<unsigned> cacheOcc_;
+    /** Victim-buffer entries held per tenant. */
+    std::vector<unsigned> victimOcc_;
     MemDevice *memSide_ = nullptr;
 
     std::vector<CacheEntry> entries_;
+    std::vector<CacheEntry> victims_;
     std::vector<InFlight> inFlight_;
     std::deque<PacketPtr> sendQueue_;
     bool drainScheduled_ = false;

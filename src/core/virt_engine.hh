@@ -155,6 +155,17 @@ class VirtEngine
     VirtualizedAssocTable table_;
 };
 
+/**
+ * Construct the adapter for `kind` as one tenant of `proxy`,
+ * translating the registry entry's generic geometry into the
+ * adapter's own parameters. The single place that knows how each
+ * kind is built — registries and harnesses hold VirtEngineConfigs
+ * and never special-case kinds themselves (virt_factory.cc).
+ */
+std::unique_ptr<VirtEngine> makeEngine(VirtEngineKind kind,
+                                       const VirtEngineConfig &cfg,
+                                       PvProxy &proxy);
+
 } // namespace pvsim
 
 #endif // PVSIM_CORE_VIRT_ENGINE_HH

@@ -82,8 +82,8 @@ class VirtualizedAssocTable
     {
         unsigned set = setOf(key);
         uint32_t tag = tagOf(key);
-        proxy_->access(tableId_, set,
-                       [this, tag, cb = std::move(cb)](PvLineView view) {
+        proxy_->access({tableId_, set, PvReqClass::Demand,
+                        [this, tag, cb = std::move(cb)](PvLineView view) {
             if (!view.bytes) {
                 cb(false, 0);
                 return;
@@ -96,7 +96,7 @@ class VirtualizedAssocTable
             }
             touch(*view.ages, unsigned(way));
             cb(true, s.ways[way].payload);
-        });
+        }});
     }
 
     /**
@@ -122,8 +122,8 @@ class VirtualizedAssocTable
     {
         unsigned set = setOf(key);
         uint32_t tag = tagOf(key);
-        proxy_->access(tableId_, set,
-                       [this, tag, fn = std::move(fn)](PvLineView view) {
+        proxy_->access({tableId_, set, PvReqClass::Demand,
+                        [this, tag, fn = std::move(fn)](PvLineView view) {
             if (!view.bytes)
                 return; // dropped: the update is lost, harmlessly
             PvSet s = codec_.decode(view.bytes);
@@ -143,7 +143,7 @@ class VirtualizedAssocTable
                 *view.dirty = true;
             }
             touch(*view.ages, unsigned(way));
-        });
+        }});
     }
 
     unsigned setOf(uint64_t key) const

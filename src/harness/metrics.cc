@@ -299,6 +299,8 @@ fig9Config(const WorkloadMix &mix, const Fig9Options &opt,
     cfg.pvBytesPerCore =
         std::max<uint64_t>(cfg.pvBytesPerCore,
                            uint64_t(opt.btbSets) * kBlockBytes);
+    cfg.pvPrefetch = opt.pvPrefetch;
+    cfg.victimEntries = opt.victimEntries;
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
     cfg.l2BankDomains = opt.l2BankDomains;
@@ -393,6 +395,99 @@ fig9Sweep(const Fig9Options &opt)
     return rows;
 }
 
+// ---- PVCache locality prefetch comparison -----------------------------
+
+Fig9PrefetchResult
+fig9PrefetchCompare(const Fig9Options &opt)
+{
+    pv_assert(opt.batches > 0,
+              "fig9PrefetchCompare needs at least one batch");
+    WorkloadMix mix;
+    for (const WorkloadMix &m : presetMixes()) {
+        if (m.name == "mixed")
+            mix = m;
+    }
+    pv_assert(!mix.workloads.empty(), "preset mix 'mixed' missing");
+
+    Fig9PrefetchResult res;
+    res.mix = mix.name;
+    res.depth = opt.pvPrefetch ? opt.pvPrefetch : 2;
+    res.victimEntries = opt.victimEntries ? opt.victimEntries : 8;
+
+    // One self-contained System per (side, batch) job, matched
+    // seeds. Job layout is side-major (0 = off, 1 = on), so the
+    // batch index — and with it the seed — is j % batches on both
+    // sides; the runs vector is bit-identical to a serial loop.
+    struct Run {
+        TimedRun timed;
+        uint64_t prefetchFills = 0;
+        uint64_t prefetchUseful = 0;
+        uint64_t prefetchDrops = 0;
+        uint64_t victimHits = 0;
+    };
+    const unsigned batches = opt.batches;
+    std::vector<Run> runs(2 * batches);
+    forEachBatch(unsigned(runs.size()), [&](unsigned j) {
+        const bool on = j >= batches;
+        SystemConfig cfg =
+            fig9Config(mix, opt, BtbMode::Virtualized);
+        cfg.pvPrefetch = on ? res.depth : 0;
+        cfg.victimEntries = on ? res.victimEntries : 0;
+        cfg.seedOffset = j % batches;
+        System sys(cfg);
+        Run &r = runs[j];
+        r.timed = runMeasured(sys, opt.warmupRecords,
+                              opt.measureRecords);
+        for (int c = 0; c < sys.numCores(); ++c) {
+            PvProxy *p = sys.pvProxy(c);
+            if (!p)
+                continue;
+            r.prefetchFills += p->prefetchFills.value();
+            r.prefetchUseful += p->prefetchUseful.value();
+            r.prefetchDrops += p->prefetchDrops.value();
+            r.victimHits += p->victimHits.value();
+        }
+    });
+
+    auto fold = [&](Fig9PrefetchSide &side, const Run *first) {
+        TimedRun all;
+        double ipc_sum = 0.0;
+        for (unsigned b = 0; b < batches; ++b) {
+            const Run &r = first[b];
+            ipc_sum += r.timed.ipc;
+            side.wallSeconds += r.timed.wallSeconds;
+            all.btbHits += r.timed.btbHits;
+            all.btbMispredicts += r.timed.btbMispredicts;
+            all.btbUnavailable += r.timed.btbUnavailable;
+            side.prefetchFills += r.prefetchFills;
+            side.prefetchUseful += r.prefetchUseful;
+            side.prefetchDrops += r.prefetchDrops;
+            side.victimHits += r.victimHits;
+        }
+        side.ipc = ipc_sum / double(batches);
+        side.availRedirectPct =
+            100.0 * all.btbAvailabilityRedirectRate();
+    };
+    fold(res.off, runs.data());
+    fold(res.on, runs.data() + batches);
+
+    std::vector<double> delta(batches, 0.0);
+    for (unsigned b = 0; b < batches; ++b)
+        delta[b] = runs[b].timed.ipc > 0.0
+                       ? 100.0 * (runs[batches + b].timed.ipc /
+                                      runs[b].timed.ipc -
+                                  1.0)
+                       : 0.0;
+    res.ipcDeltaPct = meanCi(delta).mean;
+    res.availImprovementPct =
+        res.off.availRedirectPct > 0.0
+            ? 100.0 * (res.off.availRedirectPct -
+                       res.on.availRedirectPct) /
+                  res.off.availRedirectPct
+            : 0.0;
+    return res;
+}
+
 // ---- Per-tenant QoS contention sweep ----------------------------------
 
 std::vector<QosSetting>
@@ -467,6 +562,8 @@ qosConfig(const QosOptions &opt, const QosSetting &s)
     cfg.pvBytesPerCore = std::max<uint64_t>(
         cfg.pvBytesPerCore,
         uint64_t(opt.btbSets + opt.agtSets) * kBlockBytes);
+    cfg.pvPrefetch = opt.pvPrefetch;
+    cfg.victimEntries = opt.victimEntries;
     cfg.timingShards = opt.timingShards;
     cfg.syncQuantum = opt.syncQuantum;
     cfg.l2BankDomains = opt.l2BankDomains;

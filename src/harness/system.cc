@@ -305,6 +305,8 @@ System::System(const SystemConfig &cfg)
             PvProxyParams pp;
             pp.name = cn + ".pvproxy";
             pp.pvCacheEntries = cfg_.pvCacheEntries;
+            pp.prefetchDepth = cfg_.pvPrefetch;
+            pp.victimEntries = cfg_.victimEntries;
             pp.usedBitsPerLine = 0; // tenants report their codecs
             // Shared tables: everyone gets core 0's PVStart
             // (paper Section 2.1's alternative design).
@@ -328,49 +330,28 @@ System::System(const SystemConfig &cfg)
             VirtualizedStride *first_stride = nullptr;
             VirtualizedAgt *first_agt = nullptr;
             for (const auto &ec : registry) {
+                auto e = makeEngine(ec.kind, ec, *pvproxy);
                 switch (ec.kind) {
-                  case VirtEngineKind::Pht: {
-                    auto e = std::make_unique<VirtualizedPht>(
-                        *pvproxy, ec.scopeName(), ec.numSets,
-                        ec.assoc, ec.qos);
-                    pht = e.get();
-                    engines.push_back(std::move(e));
+                  case VirtEngineKind::Pht:
+                    pht = static_cast<VirtualizedPht *>(e.get());
                     break;
-                  }
-                  case VirtEngineKind::Btb: {
-                    auto e = std::make_unique<VirtualizedBtb>(
-                        *pvproxy, ec.scopeName(), ec.numSets,
-                        ec.assoc, ec.tagBits, ec.qos);
+                  case VirtEngineKind::Btb:
                     if (!first_btb)
-                        first_btb = e.get();
-                    engines.push_back(std::move(e));
+                        first_btb =
+                            static_cast<VirtualizedBtb *>(e.get());
                     break;
-                  }
-                  case VirtEngineKind::Stride: {
-                    VirtStrideParams sp;
-                    sp.numSets = ec.numSets;
-                    sp.assoc = ec.assoc;
-                    sp.tagBits = ec.tagBits;
-                    auto e = std::make_unique<VirtualizedStride>(
-                        *pvproxy, ec.scopeName(), sp, ec.qos);
+                  case VirtEngineKind::Stride:
                     if (!first_stride)
-                        first_stride = e.get();
-                    engines.push_back(std::move(e));
+                        first_stride =
+                            static_cast<VirtualizedStride *>(e.get());
                     break;
-                  }
-                  case VirtEngineKind::Agt: {
-                    VirtAgtParams ap;
-                    ap.numSets = ec.numSets;
-                    ap.assoc = ec.assoc;
-                    ap.tagBits = ec.tagBits;
-                    auto e = std::make_unique<VirtualizedAgt>(
-                        *pvproxy, ec.scopeName(), ap, ec.qos);
+                  case VirtEngineKind::Agt:
                     if (!first_agt)
-                        first_agt = e.get();
-                    engines.push_back(std::move(e));
+                        first_agt =
+                            static_cast<VirtualizedAgt *>(e.get());
                     break;
-                  }
                 }
+                engines.push_back(std::move(e));
             }
             core->setBtb(first_btb);
             core->setStride(first_stride);

@@ -58,12 +58,12 @@ TEST_F(EdgeFixture, PatternBufferLimitDropsOpsBeforeMshrLimit)
 
     int dropped = 0, completed = 0;
     for (unsigned s = 0; s < 3; ++s) {
-        proxy.access(s, [&](PvLineView v) {
+        proxy.access({0, s, PvReqClass::Demand, [&](PvLineView v) {
             if (v.bytes)
                 ++completed;
             else
                 ++dropped;
-        });
+        }});
     }
     EXPECT_EQ(dropped, 1) << "third op exceeds the pattern buffer";
     ctxp->events().runUntil();
@@ -79,12 +79,12 @@ TEST_F(EdgeFixture, TimingFlushDrainsDirtyLines)
     proxy.setMemSide(l2.get());
 
     for (unsigned s = 0; s < 4; ++s) {
-        proxy.access(s, [](PvLineView v) {
+        proxy.access({0, s, PvReqClass::Demand, [](PvLineView v) {
             if (v.bytes) {
                 v.bytes[0] = 0x55;
                 *v.dirty = true;
             }
-        });
+        }});
     }
     ctxp->events().runUntil();
     proxy.flush();

@@ -58,11 +58,12 @@ struct PvProxyTest : public ::testing::Test {
     void
     poke(unsigned set, uint8_t value)
     {
-        proxy->access(set, [value](PvLineView v) {
+        proxy->access({0, set, PvReqClass::Demand,
+                       [value](PvLineView v) {
             ASSERT_NE(v.bytes, nullptr);
             v.bytes[0] = value;
             *v.dirty = true;
-        });
+        }});
     }
 
     /** Read back byte 0 of a set's line. */
@@ -70,10 +71,11 @@ struct PvProxyTest : public ::testing::Test {
     peek(unsigned set)
     {
         uint8_t out = 0xEE;
-        proxy->access(set, [&out](PvLineView v) {
+        proxy->access({0, set, PvReqClass::Demand,
+                       [&out](PvLineView v) {
             ASSERT_NE(v.bytes, nullptr);
             out = v.bytes[0];
-        });
+        }});
         return out;
     }
 };
@@ -189,10 +191,10 @@ TEST_F(PvProxyTest, TimingModeFetchesAsynchronously)
     build(8, SimMode::Timing);
     bool done = false;
     uint8_t seen = 0xFF;
-    proxy->access(9, [&](PvLineView v) {
+    proxy->access({0, 9, PvReqClass::Demand, [&](PvLineView v) {
         done = true;
         seen = v.bytes ? v.bytes[0] : 0xEE;
-    });
+    }});
     EXPECT_FALSE(done) << "miss must complete later";
     ctx().events().runUntil();
     EXPECT_TRUE(done);
@@ -207,7 +209,8 @@ TEST_F(PvProxyTest, TimingCoalescesOpsOnOneFetch)
     build(8, SimMode::Timing);
     int completed = 0;
     for (int i = 0; i < 3; ++i)
-        proxy->access(9, [&](PvLineView) { ++completed; });
+        proxy->access({0, 9, PvReqClass::Demand,
+                       [&](PvLineView) { ++completed; }});
     ctx().events().runUntil();
     EXPECT_EQ(completed, 3);
     EXPECT_EQ(proxy->memRequests.value(), 1u);
@@ -221,12 +224,12 @@ TEST_F(PvProxyTest, TimingDropsOpsWhenMshrsAreFull)
     // must still call back (as a predictor miss).
     int dropped_cb = 0, completed = 0;
     for (unsigned s = 0; s < 5; ++s) {
-        proxy->access(s, [&](PvLineView v) {
+        proxy->access({0, s, PvReqClass::Demand, [&](PvLineView v) {
             if (v.bytes)
                 ++completed;
             else
                 ++dropped_cb;
-        });
+        }});
     }
     EXPECT_EQ(dropped_cb, 1) << "dropped op reports predictor miss";
     ctx().events().runUntil();
@@ -237,10 +240,11 @@ TEST_F(PvProxyTest, TimingDropsOpsWhenMshrsAreFull)
 TEST_F(PvProxyTest, TimingHitIsSynchronous)
 {
     build(8, SimMode::Timing);
-    proxy->access(3, [](PvLineView) {});
+    proxy->access({0, 3, PvReqClass::Demand, [](PvLineView) {}});
     ctx().events().runUntil();
     bool done = false;
-    proxy->access(3, [&](PvLineView) { done = true; });
+    proxy->access({0, 3, PvReqClass::Demand,
+                   [&](PvLineView) { done = true; }});
     EXPECT_TRUE(done) << "PVCache hits complete with zero latency";
 }
 

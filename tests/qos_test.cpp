@@ -170,8 +170,8 @@ struct QosProxyTest : public ::testing::Test {
     touch(unsigned table, unsigned set)
     {
         bool ok = false;
-        proxy->access(table, set,
-                      [&](PvLineView v) { ok = v.bytes != nullptr; });
+        proxy->access({table, set, PvReqClass::Demand,
+                       [&](PvLineView v) { ok = v.bytes != nullptr; }});
         return ok;
     }
 };
@@ -216,9 +216,10 @@ TEST_F(QosProxyTest, ZeroWeightTenantIsStarvedButNotDeadlocked)
     // predictor miss: the callback runs with a null view.
     int null_views = 0, real_views = 0;
     for (unsigned s = 0; s < 5; ++s) {
-        proxy->access(starved, s, [&](PvLineView v) {
+        proxy->access({starved, s, PvReqClass::Demand,
+                       [&](PvLineView v) {
             v.bytes ? ++real_views : ++null_views;
-        });
+        }});
     }
     EXPECT_EQ(null_views, 5);
     EXPECT_EQ(real_views, 0);
@@ -239,9 +240,10 @@ TEST_F(QosProxyTest, ZeroWeightStarvationDrainsInTimingMode)
 
     int starved_cbs = 0, served_cbs = 0;
     for (unsigned s = 0; s < 8; ++s)
-        proxy->access(starved, s,
-                      [&](PvLineView) { ++starved_cbs; });
-    proxy->access(0, 1, [&](PvLineView) { ++served_cbs; });
+        proxy->access({starved, s, PvReqClass::Demand,
+                       [&](PvLineView) { ++starved_cbs; }});
+    proxy->access({0, 1, PvReqClass::Demand,
+                   [&](PvLineView) { ++served_cbs; }});
     EXPECT_EQ(starved_cbs, 8)
         << "starved ops must complete (as misses) immediately";
     ctxp->events().runUntil();
@@ -262,13 +264,15 @@ TEST_F(QosProxyTest, MshrQuotaReservesSlotsByWeight)
     // The aggressor can hold one fetch in flight; further distinct
     // sets drop under the quota.
     for (unsigned s = 0; s < 4; ++s)
-        proxy->access(agg, s, [](PvLineView) {});
+        proxy->access({agg, s, PvReqClass::Demand,
+                       [](PvLineView) {}});
     EXPECT_EQ(proxy->mshrOccupancy(agg), 1u);
     EXPECT_EQ(proxy->engineStats(agg).qosDrops.value(), 3u);
 
     // The protected tenant still gets its three slots.
     for (unsigned s = 0; s < 3; ++s)
-        proxy->access(btb, s, [](PvLineView) {});
+        proxy->access({btb, s, PvReqClass::Demand,
+                       [](PvLineView) {}});
     EXPECT_EQ(proxy->mshrOccupancy(btb), 3u);
     EXPECT_EQ(proxy->engineStats(btb).qosDrops.value(), 0u);
     ctxp->events().runUntil();
@@ -279,7 +283,7 @@ TEST_F(QosProxyTest, FillLatencyIsChargedPerTenant)
 {
     build(SimMode::Timing);
     unsigned t = addTenant("t", 64, weighted(2));
-    proxy->access(t, 5, [](PvLineView) {});
+    proxy->access({t, 5, PvReqClass::Demand, [](PvLineView) {}});
     ctxp->events().runUntil();
     EXPECT_EQ(proxy->engineStats(t).fills.value(), 1u);
     // At least the L2 round trip elapsed between issue and fill.
@@ -358,19 +362,21 @@ TEST_F(QosProxyTest, SingleTenantWithContractDegradesToPreQos)
         // dirty lines, and a flush — every decision point.
         for (unsigned round = 0; round < 3; ++round) {
             for (unsigned s = 0; s < 12; ++s) {
-                p.access(0, s, [round](PvLineView v) {
+                p.access({0, s, PvReqClass::Demand,
+                          [round](PvLineView v) {
                     ASSERT_NE(v.bytes, nullptr);
                     if (round == 1) {
                         v.bytes[0] = uint8_t(0x40 + round);
                         *v.dirty = true;
                     }
-                });
+                }});
             }
             for (unsigned s = 0; s < 4; ++s)
-                p.access(0, s, [](PvLineView) {});
+                p.access({0, s, PvReqClass::Demand,
+                          [](PvLineView) {}});
         }
         p.flush();
-        p.access(0, 2, [](PvLineView) {});
+        p.access({0, 2, PvReqClass::Demand, [](PvLineView) {}});
     };
 
     build();
@@ -392,7 +398,8 @@ TEST_F(QosProxyTest, SingleTenantTimingIsBitIdenticalUnderContract)
     auto drive = [this](PvProxy &p) {
         for (unsigned wave = 0; wave < 4; ++wave) {
             for (unsigned s = 0; s < 6; ++s)
-                p.access(0, wave * 3 + s, [](PvLineView) {});
+                p.access({0, wave * 3 + s, PvReqClass::Demand,
+                          [](PvLineView) {}});
             ctxp->events().runUntil();
         }
     };

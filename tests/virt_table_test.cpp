@@ -196,8 +196,8 @@ TEST_F(VirtTableTest, TimingModeLookupCompletesAfterFetch)
     // Thrash the PVCache so the next lookup misses (one at a time:
     // the proxy has only 4 MSHRs and drops excess concurrent ops).
     for (unsigned s = 0; s < 16; ++s) {
-        pht->proxy().access((0x31u + 1 + s) % 64,
-                            [](PvLineView) {});
+        pht->proxy().access({0, (0x31u + 1 + s) % 64,
+                             PvReqClass::Demand, [](PvLineView) {}});
         ctxp->events().runUntil();
     }
 

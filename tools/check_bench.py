@@ -27,6 +27,15 @@ What is gated, and why these tolerances:
   protection percentages within --hit-tol-pp of the baseline, and
   the best protection across settings must stay positive — the
   experiment's reason to exist.
+* fig9 prefetch section: the PVCache locality prefetch comparison
+  (off-vs-on matched pair on the mixed preset) is gated within the
+  fresh artifact itself, so it is host-independent: the prefetch-on
+  side's availability-redirect rate must land strictly below the
+  prefetch-off side's (the mechanism's reason to exist), the
+  detector must actually have fired (nonzero prefetch fills), and
+  the matched-seed IPC delta must not fall below
+  --prefetch-ipc-tol-pp percent — locality prefetch is allowed to
+  be IPC-neutral, never an IPC tax.
 * fig9 many_core section: the serial / sharded-only / sharded+banked
   / overlapped stats dumps must be bit-identical (the
   parallel-timing determinism contract, now across bank domains,
@@ -137,6 +146,56 @@ def check_fig9(gate, current, baseline, tol_pp, hit_tol_pp, ipc_rel):
                     cur[field] / b - 1.0, ipc_rel,
                     f"{label} {field} (relative)",
                 )
+
+
+def check_fig9_prefetch(gate, current, ipc_tol_pp):
+    """Gate the PVCache locality-prefetch comparison within the
+    fresh artifact (off vs on is a matched pair produced by the same
+    host and tree, so no committed baseline is needed)."""
+    pf = current.get("prefetch")
+    gate.check(
+        isinstance(pf, dict),
+        "fig9: prefetch section missing from artifact",
+    )
+    if not isinstance(pf, dict):
+        return
+    off = pf.get("off", {})
+    on = pf.get("on", {})
+    label = (
+        f"fig9 prefetch ({pf.get('mix', '?')}, depth "
+        f"{pf.get('depth', '?')}, victims "
+        f"{pf.get('victim_entries', '?')})"
+    )
+    for side, run in (("off", off), ("on", on)):
+        gate.check(
+            run.get("ipc", 0) > 0, f"{label}: {side} side zero IPC"
+        )
+    gate.check(
+        on.get("prefetch_fills", 0) > 0,
+        f"{label}: stride detector never fired "
+        f"(zero prefetch fills on the on side)",
+    )
+    off_redir = off.get("avail_redirect_pct", 0.0)
+    on_redir = on.get("avail_redirect_pct", 100.0)
+    gate.check(
+        on_redir < off_redir,
+        f"{label}: on-side availability redirects "
+        f"{on_redir:.2f}% not strictly below off-side "
+        f"{off_redir:.2f}% — the prefetcher buys nothing",
+    )
+    ipc_delta = pf.get("ipc_delta_pct", 0.0)
+    gate.check(
+        ipc_delta >= -ipc_tol_pp,
+        f"{label}: matched-seed IPC delta {ipc_delta:+.2f}% below "
+        f"-{ipc_tol_pp}% — prefetch has become an IPC tax",
+    )
+    print(
+        f"{label}: redirects {off_redir:.2f}% -> {on_redir:.2f}% "
+        f"({pf.get('avail_improvement_pct', 0.0):+.1f}% relative), "
+        f"ipc {ipc_delta:+.2f}%, fills {on.get('prefetch_fills', 0)}, "
+        f"useful {on.get('prefetch_useful', 0)}, victim hits "
+        f"{on.get('victim_hits', 0)}"
+    )
 
 
 def serial_fraction(run):
@@ -482,6 +541,11 @@ def main():
         help="minimum sharded speedup on capable (>=4 core) hosts",
     )
     ap.add_argument(
+        "--prefetch-ipc-tol-pp", type=float, default=3.0,
+        help="max matched-seed IPC loss of the prefetch-on side "
+        "over prefetch-off (percent)",
+    )
+    ap.add_argument(
         "--serial-frac-tol-pp", type=float, default=3.0,
         help="max serial-fraction regression of the overlapped "
         "many-core run over its baseline (percentage points, "
@@ -497,6 +561,7 @@ def main():
             gate, fig9_cur, fig9_base,
             args.fig9_tol_pp, args.hit_tol_pp, args.ipc_rel_tol,
         )
+        check_fig9_prefetch(gate, fig9_cur, args.prefetch_ipc_tol_pp)
         check_many_core(
             gate, fig9_cur, fig9_base,
             args.ipc_rel_tol, args.events_floor, args.speedup_floor,
